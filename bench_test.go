@@ -1,0 +1,179 @@
+// Benchmarks that regenerate every table and figure in the paper's
+// evaluation, one per experiment. Each iteration runs the full experiment
+// (simulation sweeps included) at a reduced scale and reports the figure's
+// headline quantities via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a quick reproduction pass. For paper-shape numbers run the
+// binaries at a larger -scale (see EXPERIMENTS.md).
+package oodb_test
+
+import (
+	"testing"
+
+	"oodb"
+)
+
+// benchOptions is deliberately small: a benchmark iteration is an entire
+// experiment (up to 45 simulation runs for the 9-class figures, 256 for the
+// factorial analysis).
+func benchOptions() oodb.ExperimentOptions {
+	return oodb.ExperimentOptions{Scale: 0.01, Transactions: 400, Seed: 1}
+}
+
+// runExperiment is the shared bench body.
+func runExperiment(b *testing.B, id string) *oodb.ExperimentTable {
+	b.Helper()
+	var tb *oodb.ExperimentTable
+	var err error
+	for i := 0; i < b.N; i++ {
+		tb, err = oodb.RunExperiment(id, benchOptions())
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	return tb
+}
+
+// report publishes a table cell as a benchmark metric.
+func report(b *testing.B, tb *oodb.ExperimentTable, row, col, unit string) {
+	b.Helper()
+	v, err := tb.Cell(row, col)
+	if err != nil {
+		b.Fatalf("%s: %v", tb.ID, err)
+	}
+	b.ReportMetric(v, unit)
+}
+
+func BenchmarkFig3_2(b *testing.B) {
+	tb := runExperiment(b, "fig3.2")
+	report(b, tb, "vem", "R/W ratio", "vem-rw")
+}
+
+func BenchmarkFig3_3(b *testing.B) {
+	tb := runExperiment(b, "fig3.3")
+	report(b, tb, "bdsim", "I/O rate", "bdsim-ios/s")
+}
+
+func BenchmarkFig3_4(b *testing.B) {
+	tb := runExperiment(b, "fig3.4")
+	report(b, tb, "vem", "high(>10)", "vem-high-share")
+}
+
+func BenchmarkFig5_1(b *testing.B) {
+	tb := runExperiment(b, "fig5.1")
+	report(b, tb, "hi10-100", "No_Cluster", "nocluster-s")
+	report(b, tb, "hi10-100", "No_limit", "nolimit-s")
+}
+
+func BenchmarkTable5_1(b *testing.B) {
+	tb := runExperiment(b, "table5.1")
+	report(b, tb, "high-10", "break-even", "hi-breakeven-rw")
+}
+
+func BenchmarkFig5_2(b *testing.B) {
+	tb := runExperiment(b, "fig5.2")
+	report(b, tb, "hi10-5", "2_IO_limit", "2iolimit-s")
+}
+
+func BenchmarkFig5_3(b *testing.B) {
+	tb := runExperiment(b, "fig5.3")
+	report(b, tb, "med5-10", "10_IO_limit", "10iolimit-s")
+}
+
+func BenchmarkFig5_4(b *testing.B) {
+	tb := runExperiment(b, "fig5.4")
+	report(b, tb, "hi10-100", "No_limit", "nolimit-s")
+}
+
+func BenchmarkFig5_5(b *testing.B) {
+	tb := runExperiment(b, "fig5.5")
+	report(b, tb, "high-10", "No_Cluster", "nocluster-logio")
+	report(b, tb, "high-10", "No_limit", "nolimit-logio")
+}
+
+func BenchmarkFig5_6(b *testing.B) {
+	tb := runExperiment(b, "fig5.6")
+	report(b, tb, "lo3-100", "2_IO_limit", "2iolimit-s")
+}
+
+func BenchmarkFig5_7(b *testing.B) {
+	tb := runExperiment(b, "fig5.7")
+	report(b, tb, "med5-100", "No_limit", "nolimit-s")
+}
+
+func BenchmarkFig5_8(b *testing.B) {
+	tb := runExperiment(b, "fig5.8")
+	report(b, tb, "hi10-100", "Within_Buffer", "withinbuf-s")
+}
+
+func BenchmarkFig5_9(b *testing.B) {
+	tb := runExperiment(b, "fig5.9")
+	report(b, tb, "hi10-100", "Linear_Split", "linearsplit-s")
+}
+
+func BenchmarkFig5_10(b *testing.B) {
+	tb := runExperiment(b, "fig5.10")
+	report(b, tb, "hi10-5", "difference", "cut-diff")
+}
+
+func BenchmarkFig5_11(b *testing.B) {
+	tb := runExperiment(b, "fig5.11")
+	report(b, tb, "hi10100", "C_p_DB", "cpdb-s")
+	report(b, tb, "hi10100", "LRU_no_p", "lrunop-s")
+}
+
+func BenchmarkFig5_12(b *testing.B) {
+	tb := runExperiment(b, "fig5.12")
+	report(b, tb, "hi10100", "Prefetch_within_DB", "pdb-s")
+}
+
+func BenchmarkFig5_13(b *testing.B) {
+	tb := runExperiment(b, "fig5.13")
+	report(b, tb, "hi10100", "Prefetch_within_DB", "pdb-s")
+}
+
+func BenchmarkFig5_14(b *testing.B) {
+	tb := runExperiment(b, "fig5.14")
+	report(b, tb, "hi10100", "Prefetch_within_buffer", "pbuff-s")
+}
+
+func BenchmarkFig6_1(b *testing.B) {
+	tb := runExperiment(b, "fig6.1")
+	// The top-ranked effect's magnitude.
+	b.ReportMetric(tb.Rows[0].Cells[1], "top-effect-s")
+}
+
+func BenchmarkFig6_2(b *testing.B) {
+	tb := runExperiment(b, "fig6.2")
+	majors := 0.0
+	for _, r := range tb.Rows {
+		if r.Cells[2] == 2 {
+			majors++
+		}
+	}
+	b.ReportMetric(majors, "major-interactions")
+}
+
+func BenchmarkExtBufferSize(b *testing.B) {
+	tb := runExperiment(b, "ext.buffersize")
+	report(b, tb, "10000", "Context-sensitive", "ctx10000-s")
+}
+
+func BenchmarkExtHints(b *testing.B) {
+	tb := runExperiment(b, "ext.hints")
+	report(b, tb, "hi10-100", "User_hint", "hint-s")
+}
+
+// BenchmarkSingleRun measures one end-to-end simulation (construction plus
+// the measured window) rather than a whole figure sweep.
+func BenchmarkSingleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := oodb.DefaultSimConfig(0.01)
+		cfg.Transactions = 400
+		if _, err := oodb.RunSimulation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command factorial runs the paper's Section 6 two-level factorial
+// analysis: 2^8 simulation runs over the eight control parameters, ranked
+// absolute effects (Figure 6.1), and pairwise interaction classification
+// (Figure 6.2).
+//
+// Usage:
+//
+//	factorial               # both figures
+//	factorial -fig 6.1
+//	factorial -scale 0.02 -txns 1000 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oodb"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure to print: 6.1 or 6.2 (default both)")
+		scale = flag.Float64("scale", 0.02, "database/buffer scale")
+		txns  = flag.Int("txns", 1000, "measured transactions per run")
+		seed  = flag.Int64("seed", 1, "random seed")
+		verb  = flag.Bool("v", false, "print per-run progress (256 runs)")
+	)
+	flag.Parse()
+
+	opt := oodb.ExperimentOptions{Scale: *scale, Transactions: *txns, Seed: *seed}
+	if *verb {
+		opt.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	ids := []string{"fig6.1", "fig6.2"}
+	switch *fig {
+	case "":
+	case "6.1":
+		ids = ids[:1]
+	case "6.2":
+		ids = ids[1:]
+	default:
+		fmt.Fprintf(os.Stderr, "factorial: unknown figure %q (want 6.1 or 6.2)\n", *fig)
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		t, err := oodb.RunExperiment(id, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "factorial:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+	}
+}

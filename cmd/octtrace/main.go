@@ -1,0 +1,46 @@
+// Command octtrace replays the instrumented OCT toolset and reports the
+// Section 3 access-pattern figures: read/write ratios (Figure 3.2), object
+// I/O rates (Figure 3.3), and structure-density distributions (Figure 3.4).
+//
+// Usage:
+//
+//	octtrace                 # all three figures
+//	octtrace -fig 3.2        # one figure
+//	octtrace -n 100 -seed 7  # more invocations per tool
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oodb/internal/oct"
+)
+
+func main() {
+	var (
+		fig  = flag.String("fig", "", "figure to print: 3.2, 3.3, 3.4 (default all)")
+		n    = flag.Int("n", 20, "instrumented invocations per tool")
+		seed = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	stats := oct.Trace(*n, *seed)
+	switch *fig {
+	case "":
+		fmt.Print(oct.Fig32(stats))
+		fmt.Println()
+		fmt.Print(oct.Fig33(stats))
+		fmt.Println()
+		fmt.Print(oct.Fig34(stats))
+	case "3.2":
+		fmt.Print(oct.Fig32(stats))
+	case "3.3":
+		fmt.Print(oct.Fig33(stats))
+	case "3.4":
+		fmt.Print(oct.Fig34(stats))
+	default:
+		fmt.Fprintf(os.Stderr, "octtrace: unknown figure %q (want 3.2, 3.3, or 3.4)\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,134 @@
+// Command oodbsim regenerates the paper's simulation experiments.
+//
+// Usage:
+//
+//	oodbsim -list
+//	oodbsim -fig 5.1 [-scale 0.05] [-txns 3000] [-seed 1] [-v]
+//	oodbsim -table 5.1
+//	oodbsim -all
+//	oodbsim -run -density high-10 -rw 100 -cluster No_limit   # single run
+//
+// Experiment IDs follow the paper: fig3.2–fig3.4, fig5.1–fig5.14,
+// table5.1, fig6.1, fig6.2, and the ext.* extension experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oodb"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		fig    = flag.String("fig", "", "figure to regenerate (e.g. 5.1)")
+		table  = flag.String("table", "", "table to regenerate (e.g. 5.1)")
+		ext    = flag.String("ext", "", "extension experiment (e.g. buffersize)")
+		all    = flag.Bool("all", false, "run every registered experiment")
+		scale  = flag.Float64("scale", 0.05, "database/buffer scale relative to the paper's 500 MB / 1000 frames")
+		txns   = flag.Int("txns", 3000, "measured transactions per run")
+		seed   = flag.Int64("seed", 1, "random seed")
+		reps   = flag.Int("reps", 1, "replications per configuration (averaged)")
+		verb   = flag.Bool("v", false, "print per-run progress")
+		asJSON = flag.Bool("json", false, "emit tables as JSON instead of text")
+
+		single   = flag.Bool("run", false, "run a single simulation instead of an experiment")
+		density  = flag.String("density", "med-5", "single run: low-3 | med-5 | high-10")
+		rw       = flag.Float64("rw", 10, "single run: read/write ratio")
+		cluster  = flag.String("cluster", "No_limit", "single run: No_Cluster | Within_Buffer | 2_IO_limit | 10_IO_limit | No_limit")
+		repl     = flag.String("repl", "LRU", "single run: LRU | Context | Random")
+		prefetch = flag.String("prefetch", "none", "single run: none | buffer | db")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range oodb.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := oodb.ExperimentOptions{Scale: *scale, Transactions: *txns, Seed: *seed, Replications: *reps}
+	if *verb {
+		opt.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	if *single {
+		if err := runSingle(*scale, *txns, *seed, *density, *rw, *cluster, *repl, *prefetch); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = oodb.Experiments()
+	case *fig != "":
+		ids = []string{"fig" + *fig}
+	case *table != "":
+		ids = []string{"table" + *table}
+	case *ext != "":
+		ids = []string{"ext." + *ext}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tables, err := oodb.RunExperiments(ids, opt)
+	if err != nil {
+		fatal(err)
+	}
+	for _, t := range tables {
+		if *asJSON {
+			out, err := t.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(out))
+			continue
+		}
+		fmt.Println(t.Render())
+	}
+}
+
+func runSingle(scale float64, txns int, seed int64, density string, rw float64, cluster, repl, prefetch string) error {
+	cfg := oodb.DefaultSimConfig(scale)
+	cfg.Transactions = txns
+	cfg.Seed = seed
+	cfg.ReadWriteRatio = rw
+
+	var err error
+	if cfg.Density, err = oodb.ParseDensity(density); err != nil {
+		return err
+	}
+	if cfg.Cluster, err = oodb.ParseClusterPolicy(cluster); err != nil {
+		return err
+	}
+	if cfg.Replacement, err = oodb.ParseReplacement(repl); err != nil {
+		return err
+	}
+	if cfg.Prefetch, err = oodb.ParsePrefetchPolicy(prefetch); err != nil {
+		return err
+	}
+
+	res, err := oodb.RunSimulation(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.String())
+	fmt.Printf("  mean disk util=%.3f cpu util=%.3f log-disk util=%.3f sim time=%.1fs throughput=%.2f txn/s\n",
+		res.MeanDiskUtil, res.CPUUtil, res.LogDiskUtil, res.SimTime, res.Throughput)
+	fmt.Printf("  cluster: placements=%d moves=%d splits=%d candidateIOs=%d\n",
+		res.Cluster.Placements, res.Cluster.Moves, res.Cluster.Splits, res.Cluster.CandidateIOs)
+	fmt.Printf("  log: records=%d before-image IOs=%d buffer flushes=%d\n",
+		res.Log.Records, res.Log.BeforeImageIOs, res.Log.BufferFlushes)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "oodbsim:", err)
+	os.Exit(1)
+}

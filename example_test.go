@@ -1,0 +1,98 @@
+package oodb_test
+
+import (
+	"fmt"
+	"log"
+
+	"oodb"
+)
+
+// Example builds the paper's running example — ALU design objects with
+// configuration, correspondence, and version relationships — on a store
+// using the recommended policies, and shows that the clustering algorithm
+// co-locates the pieces.
+func Example() {
+	db, err := oodb.Open(oodb.Options{
+		BufferFrames: 64,
+		Replacement:  oodb.ReplContext,
+		Cluster:      oodb.PolicyNoLimit,
+		Split:        oodb.LinearSplit,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var layoutFreq oodb.FreqProfile
+	layoutFreq[oodb.ConfigDown] = 0.6
+	layoutFreq[oodb.Correspondence] = 0.2
+	layout, _ := db.DefineType("layout", oodb.NilType, 256, layoutFreq, nil)
+
+	var cellFreq oodb.FreqProfile
+	cellFreq[oodb.ConfigUp] = 0.7
+	cell, _ := db.DefineType("cell", oodb.NilType, 128, cellFreq, nil)
+
+	alu, _ := db.CreateObject("ALU", 4, layout)
+	carry, _ := db.CreateAttached("CARRY-PROPAGATE", 2, cell, alu.ID)
+
+	fmt.Println(db.Triple(alu.ID))
+	fmt.Println(db.Triple(carry.ID))
+	fmt.Println("co-located:", db.PageOf(alu.ID) == db.PageOf(carry.ID))
+	// Output:
+	// ALU[4].layout
+	// CARRY-PROPAGATE[2].cell
+	// co-located: true
+}
+
+// ExampleDB_Derive demonstrates instance-to-instance inheritance: a derived
+// version inherits its ancestor's correspondence relationships by default,
+// exactly the paper's ALU example.
+func ExampleDB_Derive() {
+	db, _ := oodb.Open(oodb.Options{Cluster: oodb.PolicyNoLimit})
+	layout, _ := db.DefineType("layout", oodb.NilType, 200, oodb.FreqProfile{}, nil)
+	netlist, _ := db.DefineType("netlist", oodb.NilType, 200, oodb.FreqProfile{}, nil)
+
+	alu2, _ := db.CreateObject("ALU", 2, layout)
+	alu3n, _ := db.CreateObject("ALU", 3, netlist)
+	db.Correspond(alu2.ID, alu3n.ID) //nolint:errcheck
+
+	descendant, _ := db.Derive(alu2.ID)
+	fmt.Println(db.Triple(descendant.ID))
+	fmt.Println("inherited correspondences:", len(descendant.Correspondents))
+	// Output:
+	// ALU[3].layout
+	// inherited correspondences: 1
+}
+
+// ExampleDB_Checkout materializes a configuration hierarchy.
+func ExampleDB_Checkout() {
+	db, _ := oodb.Open(oodb.Options{Cluster: oodb.PolicyNoLimit})
+	var f oodb.FreqProfile
+	f[oodb.ConfigDown] = 0.5
+	ty, _ := db.DefineType("module", oodb.NilType, 150, f, nil)
+
+	root, _ := db.CreateObject("DATAPATH", 1, ty)
+	for i := 0; i < 3; i++ {
+		child, _ := db.CreateAttached(fmt.Sprintf("U%d", i), 1, ty, root.ID)
+		db.CreateAttached(fmt.Sprintf("U%d.0", i), 1, ty, child.ID) //nolint:errcheck
+	}
+	objs, _ := db.Checkout(root.ID)
+	fmt.Println("hierarchy size:", len(objs))
+	// Output:
+	// hierarchy size: 7
+}
+
+// ExampleRunSimulation runs a tiny instance of the paper's ten-user
+// simulation model.
+func ExampleRunSimulation() {
+	cfg := oodb.DefaultSimConfig(0.01)
+	cfg.Transactions = 200
+	res, err := oodb.RunSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("completed:", res.Completed >= 200)
+	fmt.Println("measured response:", res.MeanResponse > 0)
+	// Output:
+	// completed: true
+	// measured response: true
+}

@@ -1,0 +1,143 @@
+// Cadbrowser: the paper's design-browser scenario — a browser walks
+// through multiple representations of the same design objects, so
+// clustering across *correspondence* relationships and hint-driven
+// prefetching are what pay off. The example registers the "access by
+// correspondence" hint, browses, and compares LRU against the
+// context-sensitive policy with prefetching.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"oodb"
+)
+
+const (
+	nDesigns = 400
+	nReps    = 4 // layout, netlist, transistor, symbolic
+	nBrowses = 600
+	nHot     = 15 // designs under active review
+	frames   = 48
+	repSize  = 1100 // bytes: a correspondence group spans two pages
+)
+
+type built struct {
+	db    *oodb.DB
+	roots [][]oodb.ObjectID // [design][rep]
+}
+
+func build(repl oodb.Replacement, prefetch oodb.PrefetchPolicy, hint bool) (*built, error) {
+	db, err := oodb.Open(oodb.Options{
+		BufferFrames: frames,
+		Replacement:  repl,
+		Cluster:      oodb.PolicyNoLimit,
+		Split:        oodb.LinearSplit,
+		Prefetch:     prefetch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hint {
+		db.RegisterHint(oodb.Correspondence)
+	}
+
+	repNames := []string{"layout", "netlist", "transistor", "symbolic"}
+	var reps []oodb.TypeID
+	for _, rn := range repNames {
+		var f oodb.FreqProfile
+		f[oodb.Correspondence] = 0.6
+		f[oodb.ConfigDown] = 0.2
+		t, err := db.DefineType(rn, oodb.NilType, repSize, f, nil)
+		if err != nil {
+			return nil, err
+		}
+		reps = append(reps, t)
+	}
+
+	b := &built{db: db}
+	// Representations of a design are created at different times (layout
+	// first for every design, then netlists, ...), so creation-order
+	// placement scatters the correspondence groups.
+	b.roots = make([][]oodb.ObjectID, nDesigns)
+	for r := 0; r < nReps; r++ {
+		for d := 0; d < nDesigns; d++ {
+			o, err := db.CreateObject(fmt.Sprintf("D%d", d), 1, reps[r])
+			if err != nil {
+				return nil, err
+			}
+			b.roots[d] = append(b.roots[d], o.ID)
+			for p := 0; p < r; p++ {
+				if err := db.Correspond(b.roots[d][p], o.ID); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b, nil
+}
+
+// browse opens a design and flips through all its representations, the way
+// a designer reviews layout against netlist against schematic. Browsing
+// has working-set locality: most openings revisit the designs under active
+// review. It returns demand reads (misses the browser waits on) and total
+// physical reads (demand plus background prefetch).
+func (b *built) browse(rng *rand.Rand) (demand, total int, err error) {
+	for i := 0; i < nBrowses; i++ {
+		d := rng.Intn(nDesigns)
+		if rng.Float64() < 0.75 {
+			d = rng.Intn(nHot)
+		}
+		root := b.roots[d][rng.Intn(nReps)]
+		st0 := b.db.Stats()
+		if _, err := b.db.GetClosure(root, oodb.Correspondence); err != nil {
+			return 0, 0, err
+		}
+		st1 := b.db.Stats()
+		total += st1.PageReads - st0.PageReads
+		demand += (st1.PageReads - st0.PageReads) - (st1.PrefetchReads - st0.PrefetchReads)
+		// Every few browses a batch tool sweeps cold designs (the kind of
+		// whole-design scan Section 3.5 describes); native LRU lets the
+		// sweep evict the browser's working set, the context-sensitive
+		// policy does not.
+		if i%10 == 9 {
+			for j := 0; j < 30; j++ {
+				if _, err := b.db.Get(b.roots[nHot+(i*7+j)%(nDesigns-nHot)][0]); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+	}
+	return demand, total, nil
+}
+
+func main() {
+	type variant struct {
+		name     string
+		repl     oodb.Replacement
+		prefetch oodb.PrefetchPolicy
+		hint     bool
+	}
+	variants := []variant{
+		{"LRU, no prefetch, no hint", oodb.ReplLRU, oodb.NoPrefetch, false},
+		{"LRU, prefetch in DB, hint", oodb.ReplLRU, oodb.PrefetchWithinDB, true},
+		{"Context, no prefetch, hint", oodb.ReplContext, oodb.NoPrefetch, true},
+		{"Context, prefetch in DB, hint", oodb.ReplContext, oodb.PrefetchWithinDB, true},
+	}
+	fmt.Printf("browsing %d designs x %d representations, %d browse operations\n",
+		nDesigns, nReps, nBrowses)
+	for _, v := range variants {
+		b, err := build(v.repl, v.prefetch, v.hint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		demand, total, err := b.browse(rand.New(rand.NewSource(11)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := b.db.Stats()
+		fmt.Printf("  %-30s %6d demand reads, %6d total during browses (overall hit ratio %.2f)\n",
+			v.name, demand, total, st.HitRatio)
+	}
+}

@@ -1,0 +1,107 @@
+// Quickstart: open a store, define a small CAD type lattice, build a
+// design with configuration / version / correspondence relationships, read
+// it back, and inspect the I/O accounting.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oodb"
+)
+
+func main() {
+	db, err := oodb.Open(oodb.Options{
+		PageSize:     4096,
+		BufferFrames: 64,
+		Replacement:  oodb.ReplContext,
+		Cluster:      oodb.PolicyNoLimit,
+		Split:        oodb.LinearSplit,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Types: a layout root type whose instances are navigated downward, and
+	// a cell component type navigated upward. The frequency profiles are
+	// what the clustering algorithm inherits into each instance.
+	var layoutFreq oodb.FreqProfile
+	layoutFreq[oodb.ConfigDown] = 0.6
+	layoutFreq[oodb.Correspondence] = 0.2
+	layoutFreq[oodb.VersionAncestor] = 0.2
+	layout, err := db.DefineType("layout", oodb.NilType, 256, layoutFreq, []oodb.AttrDef{
+		{Name: "technology", Size: 32, AccessFreq: 0.7},
+		{Name: "revision-history", Size: 512, AccessFreq: 0.05},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cellFreq oodb.FreqProfile
+	cellFreq[oodb.ConfigUp] = 0.7
+	cell, err := db.DefineType("cell", oodb.NilType, 128, cellFreq, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var netlistFreq oodb.FreqProfile
+	netlistFreq[oodb.Correspondence] = 0.5
+	netlist, err := db.DefineType("netlist", oodb.NilType, 200, netlistFreq, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ALU[1].layout composed of carry/add/shift cells.
+	alu, err := db.CreateObject("ALU", 1, layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"CARRY", "ADD", "SHIFT"} {
+		c, err := db.CreateObject(name, 1, cell)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Attach(alu.ID, c.ID); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A corresponding netlist representation, and a derived version that
+	// inherits the correspondence (instance-to-instance inheritance).
+	aluNet, err := db.CreateObject("ALU", 1, netlist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Correspond(alu.ID, aluNet.ID); err != nil {
+		log.Fatal(err)
+	}
+	alu2, err := db.Derive(alu.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("objects:")
+	for _, id := range []oodb.ObjectID{alu.ID, aluNet.ID, alu2.ID} {
+		fmt.Printf("  %-16s on page %d\n", db.Triple(id), db.PageOf(id))
+	}
+	fmt.Printf("derived version inherits correspondence: %v\n",
+		len(alu2.Correspondents) == 1)
+
+	// Navigate: expand the configuration (reads ALU[1].layout and its three
+	// cells — co-clustered, so this costs at most one or two page reads).
+	comps, err := db.GetClosure(alu.ID, oodb.ConfigDown)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("components of %s:", db.Triple(alu.ID))
+	for _, c := range comps {
+		fmt.Printf(" %s", db.Triple(c.ID))
+	}
+	fmt.Println()
+
+	st := db.Stats()
+	fmt.Printf("stats: logical reads=%d page reads=%d page writes=%d hit ratio=%.2f\n",
+		st.LogicalReads, st.PageReads, st.PageWrites, st.HitRatio)
+	if err := db.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("storage invariants hold")
+}

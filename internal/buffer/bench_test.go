@@ -1,0 +1,46 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+
+	"oodb/internal/storage"
+)
+
+func benchAccessPattern(b *testing.B, p *Pool) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 80/20 hot/cold mix over 4x the pool size.
+		var pg storage.PageID
+		if rng.Intn(5) != 0 {
+			pg = storage.PageID(1 + rng.Intn(p.Capacity()))
+		} else {
+			pg = storage.PageID(1 + rng.Intn(4*p.Capacity()))
+		}
+		if _, err := p.Access(pg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLRUAccess(b *testing.B) {
+	benchAccessPattern(b, NewPool(1024, NewLRU()))
+}
+
+func BenchmarkRandomAccess(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	benchAccessPattern(b, NewPool(1024, NewRandom(rng, 256)))
+}
+
+func BenchmarkPoolHit(b *testing.B) {
+	p := NewPool(16, NewLRU())
+	p.Access(1) //nolint:errcheck
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Access(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

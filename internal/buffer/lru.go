@@ -1,0 +1,64 @@
+package buffer
+
+import (
+	"container/list"
+
+	"oodb/internal/storage"
+)
+
+// LRU is the classic least-recently-used replacement policy — the paper's
+// "native" baseline whose weakness (evicting structurally related pages and
+// clustering candidates) motivates the context-sensitive policy.
+//
+// Boosted pages are treated as touched: moving a page to the MRU end is the
+// only priority mechanism LRU has, which is exactly how the paper's
+// "prefetch within buffer pool" interacts with an LRU pool.
+type LRU struct {
+	order *list.List // front = MRU, back = LRU
+	pos   map[storage.PageID]*list.Element
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{order: list.New(), pos: make(map[storage.PageID]*list.Element)}
+}
+
+// Name implements Policy.
+func (l *LRU) Name() string { return "LRU" }
+
+// Admitted implements Policy.
+func (l *LRU) Admitted(pg storage.PageID) {
+	l.pos[pg] = l.order.PushFront(pg)
+}
+
+// Touched implements Policy.
+func (l *LRU) Touched(pg storage.PageID) {
+	if e, ok := l.pos[pg]; ok {
+		l.order.MoveToFront(e)
+	}
+}
+
+// Boosted implements Policy.
+func (l *LRU) Boosted(pg storage.PageID) { l.Touched(pg) }
+
+// Removed implements Policy.
+func (l *LRU) Removed(pg storage.PageID) {
+	if e, ok := l.pos[pg]; ok {
+		l.order.Remove(e)
+		delete(l.pos, pg)
+	}
+}
+
+// Victim implements Policy: the least recently used unpinned page.
+func (l *LRU) Victim(pinned func(storage.PageID) bool) (storage.PageID, bool) {
+	for e := l.order.Back(); e != nil; e = e.Prev() {
+		pg := e.Value.(storage.PageID)
+		if pinned == nil || !pinned(pg) {
+			return pg, true
+		}
+	}
+	return storage.NilPage, false
+}
+
+// Len returns the number of tracked pages.
+func (l *LRU) Len() int { return l.order.Len() }

@@ -1,0 +1,253 @@
+// Package buffer implements the buffer-pool mechanics the paper's buffer
+// manager is built on: a fixed set of frames, a resident-page table, dirty
+// tracking, pin counts, and hit/miss/flush statistics, with the replacement
+// decision delegated to a pluggable Policy.
+//
+// The two semantics-blind baseline policies from the paper, LRU and Random,
+// live here. The context-sensitive policy — the paper's contribution — needs
+// structural knowledge and lives in internal/core.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+
+	"oodb/internal/storage"
+)
+
+// Policy chooses replacement victims. Implementations are notified of every
+// admission, touch, priority boost, and removal so they can maintain their
+// own bookkeeping. The pool guarantees Evict is only called when at least
+// one unpinned page is resident.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Admitted tells the policy pg became resident.
+	Admitted(pg storage.PageID)
+	// Touched tells the policy pg was accessed while resident.
+	Touched(pg storage.PageID)
+	// Boosted gives pg a priority boost without a data access — the hook the
+	// prefetch-within-buffer-pool strategy and the cluster manager's
+	// keep-candidates hints use.
+	Boosted(pg storage.PageID)
+	// Removed tells the policy pg left the pool.
+	Removed(pg storage.PageID)
+	// Victim returns the page to evict. pinned reports pages that must not
+	// be chosen. ok is false only if every resident page is pinned.
+	Victim(pinned func(storage.PageID) bool) (pg storage.PageID, ok bool)
+}
+
+// AccessResult describes what the pool did to satisfy an access, so the
+// caller (the simulation engine) can charge the right physical I/Os:
+// zero for a hit, one read for a miss, plus one write when a dirty victim
+// had to be flushed first.
+type AccessResult struct {
+	Hit         bool
+	Victim      storage.PageID // NilPage if no eviction happened
+	VictimDirty bool           // true adds a flush write before the read
+}
+
+// Stats aggregates pool activity.
+type Stats struct {
+	Hits       int
+	Misses     int
+	Evictions  int
+	Flushes    int // dirty victims written back
+	Boosts     int
+	Prefetches int // misses attributable to prefetch (counted by caller via AccessPrefetch)
+}
+
+// HitRatio returns hits / (hits+misses), or 0 when idle.
+func (s Stats) HitRatio() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// Pool is the buffer pool.
+type Pool struct {
+	capacity int
+	policy   Policy
+	resident map[storage.PageID]*frame
+	stats    Stats
+}
+
+type frame struct {
+	dirty bool
+	pins  int
+}
+
+// ErrAllPinned is returned when an access needs an eviction but every
+// resident page is pinned.
+var ErrAllPinned = errors.New("buffer: all pages pinned")
+
+// NewPool creates a pool with the given frame count and replacement policy.
+func NewPool(capacity int, policy Policy) *Pool {
+	if capacity < 1 {
+		panic("buffer: capacity must be at least 1")
+	}
+	return &Pool{
+		capacity: capacity,
+		policy:   policy,
+		resident: make(map[storage.PageID]*frame, capacity),
+	}
+}
+
+// Capacity returns the frame count.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Resident returns the number of resident pages.
+func (p *Pool) Resident() int { return len(p.resident) }
+
+// Contains reports whether pg is resident.
+func (p *Pool) Contains(pg storage.PageID) bool {
+	_, ok := p.resident[pg]
+	return ok
+}
+
+// Policy returns the replacement policy.
+func (p *Pool) Policy() Policy { return p.policy }
+
+// Stats returns a copy of the pool statistics.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the statistics without touching residency.
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+func (p *Pool) pinned(pg storage.PageID) bool {
+	f := p.resident[pg]
+	return f != nil && f.pins > 0
+}
+
+// Access brings pg into the pool (if needed) and touches it. The result
+// tells the caller which physical I/Os the access implies.
+func (p *Pool) Access(pg storage.PageID) (AccessResult, error) {
+	if pg == storage.NilPage {
+		return AccessResult{}, fmt.Errorf("buffer: access to nil page")
+	}
+	if _, ok := p.resident[pg]; ok {
+		p.stats.Hits++
+		p.policy.Touched(pg)
+		return AccessResult{Hit: true}, nil
+	}
+	p.stats.Misses++
+	res := AccessResult{}
+	if len(p.resident) >= p.capacity {
+		victim, ok := p.policy.Victim(p.pinned)
+		if !ok {
+			return res, ErrAllPinned
+		}
+		vf := p.resident[victim]
+		res.Victim = victim
+		res.VictimDirty = vf.dirty
+		if vf.dirty {
+			p.stats.Flushes++
+		}
+		p.stats.Evictions++
+		delete(p.resident, victim)
+		p.policy.Removed(victim)
+	}
+	p.resident[pg] = &frame{}
+	p.policy.Admitted(pg)
+	return res, nil
+}
+
+// Install makes pg resident without a physical read — used for freshly
+// allocated pages, which have no disk image to fetch. An eviction may still
+// be needed; the result reports it so the caller can charge the victim
+// flush. Installing an already-resident page is a hit.
+func (p *Pool) Install(pg storage.PageID) (AccessResult, error) {
+	if pg == storage.NilPage {
+		return AccessResult{}, fmt.Errorf("buffer: install of nil page")
+	}
+	if _, ok := p.resident[pg]; ok {
+		p.stats.Hits++
+		p.policy.Touched(pg)
+		return AccessResult{Hit: true}, nil
+	}
+	res := AccessResult{}
+	if len(p.resident) >= p.capacity {
+		victim, ok := p.policy.Victim(p.pinned)
+		if !ok {
+			return res, ErrAllPinned
+		}
+		vf := p.resident[victim]
+		res.Victim = victim
+		res.VictimDirty = vf.dirty
+		if vf.dirty {
+			p.stats.Flushes++
+		}
+		p.stats.Evictions++
+		delete(p.resident, victim)
+		p.policy.Removed(victim)
+	}
+	p.resident[pg] = &frame{}
+	p.policy.Admitted(pg)
+	return res, nil
+}
+
+// MarkDirty flags a resident page as modified. Marking a non-resident page
+// is a model bug and returns an error.
+func (p *Pool) MarkDirty(pg storage.PageID) error {
+	f, ok := p.resident[pg]
+	if !ok {
+		return fmt.Errorf("buffer: MarkDirty on non-resident page %d", pg)
+	}
+	f.dirty = true
+	return nil
+}
+
+// IsDirty reports whether pg is resident and dirty.
+func (p *Pool) IsDirty(pg storage.PageID) bool {
+	f, ok := p.resident[pg]
+	return ok && f.dirty
+}
+
+// Clean clears the dirty flag (after an explicit write-back).
+func (p *Pool) Clean(pg storage.PageID) {
+	if f, ok := p.resident[pg]; ok {
+		f.dirty = false
+	}
+}
+
+// Boost raises pg's replacement priority if it is resident; non-resident
+// pages are ignored (prefetch-within-buffer never triggers I/O).
+func (p *Pool) Boost(pg storage.PageID) {
+	if _, ok := p.resident[pg]; ok {
+		p.stats.Boosts++
+		p.policy.Boosted(pg)
+	}
+}
+
+// Pin prevents pg from being evicted until Unpin. Pinning a non-resident
+// page is an error.
+func (p *Pool) Pin(pg storage.PageID) error {
+	f, ok := p.resident[pg]
+	if !ok {
+		return fmt.Errorf("buffer: Pin on non-resident page %d", pg)
+	}
+	f.pins++
+	return nil
+}
+
+// Unpin releases one pin on pg.
+func (p *Pool) Unpin(pg storage.PageID) error {
+	f, ok := p.resident[pg]
+	if !ok {
+		return fmt.Errorf("buffer: Unpin on non-resident page %d", pg)
+	}
+	if f.pins == 0 {
+		return fmt.Errorf("buffer: Unpin on unpinned page %d", pg)
+	}
+	f.pins--
+	return nil
+}
+
+// ForEachResident calls fn for every resident page, in no particular order.
+func (p *Pool) ForEachResident(fn func(pg storage.PageID, dirty bool)) {
+	for pg, f := range p.resident {
+		fn(pg, f.dirty)
+	}
+}

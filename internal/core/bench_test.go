@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"oodb/internal/buffer"
+	"oodb/internal/model"
+	"oodb/internal/storage"
+)
+
+func benchGraph(n int) (*model.Graph, []model.ObjectID) {
+	rng := rand.New(rand.NewSource(1))
+	return randomPartGraph(rng, n)
+}
+
+func BenchmarkBuildPartGraph(b *testing.B) {
+	g, ids := benchGraph(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildPartGraph(g, ids)
+	}
+}
+
+func BenchmarkGreedySplit(b *testing.B) {
+	g, ids := benchGraph(20)
+	pg := BuildPartGraph(g, ids)
+	total := 0
+	for _, s := range pg.Sizes {
+		total += s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := GreedySplit(pg, total*3/5+160); !ok {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+func BenchmarkOptimalSplitExact(b *testing.B) {
+	g, ids := benchGraph(16) // within the exact-search bound
+	pg := BuildPartGraph(g, ids)
+	total := 0
+	for _, s := range pg.Sizes {
+		total += s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := OptimalSplit(pg, total*3/5+160); !ok {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+func BenchmarkOptimalSplitRefine(b *testing.B) {
+	g, ids := benchGraph(40) // beyond the exact bound: greedy + hill climb
+	pg := BuildPartGraph(g, ids)
+	total := 0
+	for _, s := range pg.Sizes {
+		total += s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := OptimalSplit(pg, total*3/5+300); !ok {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkPlaceNew measures one clustered placement, steady state: a new
+// leaf under a rotating set of composites.
+func BenchmarkPlaceNew(b *testing.B) {
+	g := model.NewGraph()
+	var rf, lf model.FreqProfile
+	rf[model.ConfigDown] = 0.5
+	lf[model.ConfigUp] = 0.6
+	rootT, _ := g.DefineType("root", model.NilType, 200, rf, nil)
+	leafT, _ := g.DefineType("leaf", model.NilType, 100, lf, nil)
+	st := storage.NewManager(g, 4096)
+	pool := buffer.NewPool(256, buffer.NewLRU())
+	c := NewClusterer(g, st, pool)
+	c.Policy = PolicyNoLimit
+	c.Split = LinearSplit
+
+	var roots []model.ObjectID
+	for i := 0; i < 64; i++ {
+		r, _ := g.NewObject("R", i, rootT)
+		if _, err := c.PlaceNew(r); err != nil {
+			b.Fatal(err)
+		}
+		roots = append(roots, r.ID)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, _ := g.NewObject("L", i, leafT)
+		if err := g.Attach(roots[i%len(roots)], o.ID); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.PlaceNew(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContextPolicyAccess measures the segmented policy under a mixed
+// access/boost stream.
+func BenchmarkContextPolicyAccess(b *testing.B) {
+	pol := NewContextPolicy(768)
+	pool := buffer.NewPool(1024, pol)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg := storage.PageID(1 + rng.Intn(4096))
+		if _, err := pool.Access(pg); err != nil {
+			b.Fatal(err)
+		}
+		if i%4 == 0 {
+			pool.Boost(storage.PageID(1 + rng.Intn(4096)))
+		}
+	}
+}

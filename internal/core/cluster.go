@@ -1,0 +1,470 @@
+package core
+
+import (
+	"fmt"
+
+	"oodb/internal/buffer"
+	"oodb/internal/model"
+	"oodb/internal/storage"
+)
+
+// ClusterStats aggregates clustering activity across a run.
+type ClusterStats struct {
+	Placements      int
+	Reclusterings   int // recluster invocations
+	Moves           int // objects actually relocated
+	CandidateIOs    int // physical reads spent inspecting candidate pages
+	CandidatesSeen  int
+	Splits          int
+	SplitInfeasible int
+	FrontierFalls   int // placements that fell back to the frontier
+
+	// Cut-cost bookkeeping for Figure 5.10: at every split both partitions
+	// are computed so the policies can be compared on identical inputs.
+	GreedyCutTotal  float64
+	OptimalCutTotal float64
+	SplitsCompared  int
+}
+
+// Placement describes the outcome of a placement or reclustering action so
+// the engine can charge I/Os, mark pages dirty, and log.
+type Placement struct {
+	// IOs are the physical I/Os the action triggered, in order.
+	IOs []PhysIO
+	// Page is the object's final page.
+	Page storage.PageID
+	// DirtyPages must be marked dirty (and logged) by the caller: the target
+	// page, plus both halves of a split, plus the source page of a move.
+	DirtyPages []storage.PageID
+	// Split reports that a page split occurred; NewPage is its new page.
+	Split   bool
+	NewPage storage.PageID
+	// Moved reports that an existing object changed pages (reclustering).
+	Moved bool
+}
+
+// Clusterer is the dynamic clustering algorithm. It owns placement policy
+// only; mechanics stay in storage.Manager and residency in buffer.Pool.
+type Clusterer struct {
+	Graph *model.Graph
+	Store *storage.Manager
+	Pool  *buffer.Pool
+
+	Policy ClusterPolicy
+	Split  SplitPolicy
+	Hints  HintPolicy
+	Hint   Hint
+
+	// AttrCost drives the copy-vs-reference decision for inherited
+	// attributes at creation time.
+	AttrCost AttrCostModel
+
+	// SplitOverhead is the constant cost added to a split's cut cost when
+	// deciding split-vs-next-candidate, reflecting the extra flush I/O, log
+	// record, CPU time, and buffer contention the paper charges to splits.
+	SplitOverhead float64
+
+	// MaxCandidates bounds the candidate pages examined per placement.
+	MaxCandidates int
+
+	// NoSiblingCandidates disables the sibling-page tier of the candidate
+	// ranking and the sibling term of the affinity function (ablation knob:
+	// placement then considers direct structural neighbors only).
+	NoSiblingCandidates bool
+
+	frontier storage.PageID // sequential fill page (No_Cluster placements)
+	spill    storage.PageID // fallback fill page for non-composite loners
+	stats    ClusterStats
+}
+
+// NewClusterer returns a clusterer with the experiment defaults.
+func NewClusterer(g *model.Graph, st *storage.Manager, pool *buffer.Pool) *Clusterer {
+	return &Clusterer{
+		Graph: g, Store: st, Pool: pool,
+		Policy:        PolicyNoCluster,
+		Split:         NoSplit,
+		AttrCost:      DefaultAttrCostModel,
+		SplitOverhead: 1.0,
+		MaxCandidates: 12,
+	}
+}
+
+// Stats returns a copy of the clustering statistics.
+func (c *Clusterer) Stats() ClusterStats { return c.stats }
+
+// ResetStats zeroes the statistics.
+func (c *Clusterer) ResetStats() { c.stats = ClusterStats{} }
+
+func (c *Clusterer) ioBudget() int {
+	switch c.Policy.Mode {
+	case ClusterWithinBuffer:
+		return 0
+	case ClusterIOLimit:
+		return c.Policy.IOLimit
+	case ClusterNoLimit:
+		return 1 << 30
+	}
+	return 0
+}
+
+// candidatePages ranks the pages of o's structural neighbors by the
+// traversal frequency of the connecting relationship (user hint first when
+// honored).
+func (c *Clusterer) candidatePages(o *model.Object) []storage.PageID {
+	var out []storage.PageID
+	seen := make(map[storage.PageID]struct{}, 8)
+	for _, kind := range rankedKinds(o, c.Hints, c.Hint) {
+		if o.Freq[kind] <= 0 && !(c.Hints == UserHints && c.Hint.Active && c.Hint.Kind == kind) {
+			continue
+		}
+		for _, pg := range NeighborPages(c.Graph, c.Store, o, kind, 0) {
+			if _, ok := seen[pg]; ok {
+				continue
+			}
+			seen[pg] = struct{}{}
+			out = append(out, pg)
+			if len(out) >= c.MaxCandidates {
+				return out
+			}
+		}
+		if kind == model.ConfigUp && !c.NoSiblingCandidates {
+			// Once the composite's own page is in the list, the pages of the
+			// composite's other components are the next best candidates:
+			// siblings are co-retrieved with the composite.
+			for _, pg := range SiblingPages(c.Graph, c.Store, o, c.MaxCandidates) {
+				if _, ok := seen[pg]; ok {
+					continue
+				}
+				seen[pg] = struct{}{}
+				out = append(out, pg)
+				if len(out) >= c.MaxCandidates {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// siblingAffinityWeight discounts sibling co-location relative to direct
+// composite co-location: siblings are fetched together during composite
+// expansion but are not navigated to directly.
+const siblingAffinityWeight = 0.5
+
+// Affinity is the co-location benefit of having o on page pg: the summed
+// traversal frequency of o's relationships whose other end lives on pg.
+func (c *Clusterer) Affinity(o *model.Object, pg storage.PageID) float64 {
+	if pg == storage.NilPage {
+		return 0
+	}
+	a := 0.0
+	for kind := model.RelKind(0); kind < model.NumRelKinds; kind++ {
+		w := o.Freq[kind]
+		if c.Hints == UserHints && c.Hint.Active && c.Hint.Kind == kind {
+			w *= 2 // hinted traversals dominate the application's access mix
+		}
+		if w <= 0 {
+			continue
+		}
+		for _, n := range o.Neighbors(kind) {
+			if c.Store.PageOf(n) == pg {
+				a += w
+			}
+		}
+	}
+	// Sibling co-location: components retrieved together with o when their
+	// shared composite is expanded.
+	sw := o.Freq[model.ConfigUp] * siblingAffinityWeight
+	if c.NoSiblingCandidates {
+		sw = 0
+	}
+	if sw > 0 {
+		for _, comp := range o.Composites {
+			co := c.Graph.Object(comp)
+			if co == nil {
+				continue
+			}
+			for _, sib := range co.Components {
+				if sib != o.ID && c.Store.PageOf(sib) == pg {
+					a += sw
+				}
+			}
+		}
+	}
+	return a
+}
+
+// inspect makes candidate page pg available for examination under the
+// candidate-pool policy, spending budget for non-resident pages. It returns
+// the implied I/Os and whether the page may be used.
+func (c *Clusterer) inspect(pg storage.PageID, budget *int) ([]PhysIO, bool, error) {
+	if c.Pool.Contains(pg) {
+		// Examining a resident page is free; hint the buffer manager to keep
+		// it around for the rest of the clustering phase.
+		c.Pool.Boost(pg)
+		return nil, true, nil
+	}
+	if *budget <= 0 {
+		return nil, false, nil
+	}
+	*budget--
+	c.stats.CandidateIOs++
+	res, err := c.Pool.Access(pg)
+	if err != nil {
+		return nil, false, err
+	}
+	c.Pool.Boost(pg)
+	return ExpandAccess(res, pg), true, nil
+}
+
+// PlaceNew chooses and performs the initial placement of a newly created
+// object (which must be unplaced). It also decides the implementation of the
+// object's inherited attributes, since that choice feeds back into the
+// traversal frequencies that drive placement.
+func (c *Clusterer) PlaceNew(o *model.Object) (Placement, error) {
+	if c.Store.PageOf(o.ID) != storage.NilPage {
+		return Placement{}, fmt.Errorf("core: object %d already placed", o.ID)
+	}
+	c.stats.Placements++
+	ChooseAttrImpls(c.Graph, o, c.AttrCost)
+
+	if c.Policy.Mode == NoCluster {
+		return c.placeFrontier(o, nil)
+	}
+
+	var ios []PhysIO
+	budget := c.ioBudget()
+	cands := c.candidatePages(o)
+	c.stats.CandidatesSeen += len(cands)
+	for i, pg := range cands {
+		more, usable, err := c.inspect(pg, &budget)
+		ios = append(ios, more...)
+		if err != nil {
+			return Placement{IOs: ios}, err
+		}
+		if !usable {
+			continue
+		}
+		if c.Store.Fits(o.Size, pg) {
+			if err := c.Store.Place(o.ID, pg); err != nil {
+				return Placement{IOs: ios}, err
+			}
+			return Placement{IOs: ios, Page: pg, DirtyPages: []storage.PageID{pg}}, nil
+		}
+		// Preferred candidate is full: split it, or recurse to the next best
+		// candidate (Section 2.1 (b)).
+		if c.Split != NoSplit {
+			nextAffinity := 0.0
+			if i+1 < len(cands) {
+				nextAffinity = c.Affinity(o, cands[i+1])
+			}
+			pl, did, err := c.trySplit(o, pg, nextAffinity, ios)
+			if err != nil {
+				return Placement{IOs: ios}, err
+			}
+			if did {
+				return pl, nil
+			}
+		}
+	}
+	c.stats.FrontierFalls++
+	return c.placeFallback(o, ios)
+}
+
+// placeFallback handles a clustered placement that found no usable
+// candidate. Objects that head configurations (nonzero config-down
+// frequency) seed a fresh page so their components can cluster onto it —
+// sharing the sequential frontier would let unrelated interleaved creations
+// consume exactly the space their future components need. Loner objects
+// pack onto a separate spill page.
+//
+// Within_Buffer clustering does not seed: its candidates are usable only
+// while resident, so reserved space is usually wasted, and the paper
+// characterizes it as at best comparable to — never paying more space than
+// — sequential placement.
+func (c *Clusterer) placeFallback(o *model.Object, ios []PhysIO) (Placement, error) {
+	if c.Policy.Mode != ClusterWithinBuffer && o.Freq[model.ConfigDown] > 0 {
+		return c.placeFresh(o, ios, nil)
+	}
+	return c.placeFill(o, ios, &c.spill)
+}
+
+// placeFrontier appends o to the shared sequential fill page — the
+// No_Cluster behavior.
+func (c *Clusterer) placeFrontier(o *model.Object, ios []PhysIO) (Placement, error) {
+	return c.placeFill(o, ios, &c.frontier)
+}
+
+// placeFill appends o to *fill, allocating a fresh page when it does not
+// fit.
+func (c *Clusterer) placeFill(o *model.Object, ios []PhysIO, fill *storage.PageID) (Placement, error) {
+	if *fill != storage.NilPage && c.Store.Fits(o.Size, *fill) {
+		res, err := c.Pool.Access(*fill)
+		if err != nil {
+			return Placement{IOs: ios}, err
+		}
+		ios = append(ios, ExpandAccess(res, *fill)...)
+		if err := c.Store.Place(o.ID, *fill); err != nil {
+			return Placement{IOs: ios}, err
+		}
+		return Placement{IOs: ios, Page: *fill, DirtyPages: []storage.PageID{*fill}}, nil
+	}
+	return c.placeFresh(o, ios, fill)
+}
+
+// placeFresh allocates a new page for o, optionally recording it in *fill.
+func (c *Clusterer) placeFresh(o *model.Object, ios []PhysIO, fill *storage.PageID) (Placement, error) {
+	pg := c.Store.AllocatePage()
+	res, err := c.Pool.Install(pg)
+	if err != nil {
+		return Placement{IOs: ios}, err
+	}
+	ios = append(ios, ExpandAccess(res, pg)...) // at most a victim flush; Install reads nothing
+	if n := len(ios); n > 0 && ios[n-1].Kind == ReadIO && ios[n-1].Page == pg {
+		ios = ios[:n-1] // fresh pages have no disk image to read
+	}
+	if err := c.Store.Place(o.ID, pg); err != nil {
+		return Placement{IOs: ios}, err
+	}
+	if fill != nil {
+		*fill = pg
+	}
+	return Placement{IOs: ios, Page: pg, DirtyPages: []storage.PageID{pg}}, nil
+}
+
+// trySplit evaluates splitting full page pg to admit o, against the
+// alternative of placing o on the next best candidate (whose affinity is
+// given). It performs the split when favorable.
+func (c *Clusterer) trySplit(o *model.Object, pg storage.PageID, nextAffinity float64, ios []PhysIO) (Placement, bool, error) {
+	ids := append([]model.ObjectID{o.ID}, c.Store.ObjectsOn(pg)...)
+	graph := BuildPartGraph(c.Graph, ids)
+	cap := c.Store.PageSize()
+
+	greedy, gok := GreedySplit(graph, cap)
+	opt, ook := OptimalSplit(graph, cap)
+	if gok && ook {
+		c.stats.GreedyCutTotal += greedy.Cut
+		c.stats.OptimalCutTotal += opt.Cut
+		c.stats.SplitsCompared++
+	}
+
+	var part Partition
+	var ok bool
+	switch c.Split {
+	case LinearSplit:
+		part, ok = greedy, gok
+	case NPSplit:
+		part, ok = opt, ook
+	default:
+		return Placement{}, false, nil
+	}
+	if !ok {
+		c.stats.SplitInfeasible++
+		return Placement{}, false, nil
+	}
+
+	// Expected access cost of the split = broken-arc cost + overhead; cost of
+	// settling for the next candidate = the affinity to this page we forgo.
+	hereAffinity := c.Affinity(o, pg)
+	splitCost := part.Cut + c.SplitOverhead
+	settleCost := hereAffinity - nextAffinity
+	if splitCost >= settleCost {
+		return Placement{}, false, nil
+	}
+
+	// Perform the split: side B moves to a new page.
+	newPg := c.Store.AllocatePage()
+	res, err := c.Pool.Install(newPg)
+	if err != nil {
+		return Placement{}, false, err
+	}
+	ios = append(ios, ExpandAccess(res, newPg)...)
+	if n := len(ios); n > 0 && ios[n-1].Kind == ReadIO && ios[n-1].Page == newPg {
+		ios = ios[:n-1]
+	}
+	// Evacuate side B to the new page first, then place the incoming object
+	// on its side — placing first could transiently overflow the old page.
+	for i, id := range ids {
+		if id == o.ID || !part.Side[i] {
+			continue
+		}
+		if err := c.Store.Move(id, newPg); err != nil {
+			return Placement{}, false, err
+		}
+	}
+	finalPage := pg
+	if part.Side[0] { // o is node 0
+		finalPage = newPg
+	}
+	if err := c.Store.Place(o.ID, finalPage); err != nil {
+		return Placement{}, false, err
+	}
+	c.stats.Splits++
+	// The paper charges splits one extra I/O to flush the newly allocated
+	// page, plus an extra log record (added by the engine via DirtyPages).
+	ios = append(ios, WriteOf(newPg))
+	return Placement{
+		IOs:        ios,
+		Page:       finalPage,
+		DirtyPages: []storage.PageID{pg, newPg},
+		Split:      true,
+		NewPage:    newPg,
+	}, true, nil
+}
+
+// Recluster re-evaluates the placement of an existing object after its
+// structural relationships changed — the run-time reclustering algorithm.
+// The object moves to the candidate page with the highest affinity when that
+// beats its current page and the page has room, under the same candidate
+// pool I/O budget as placement.
+func (c *Clusterer) Recluster(o *model.Object) (Placement, error) {
+	cur := c.Store.PageOf(o.ID)
+	if cur == storage.NilPage {
+		return Placement{}, storage.ErrNotPlaced
+	}
+	if c.Policy.Mode == NoCluster {
+		return Placement{Page: cur}, nil
+	}
+	c.stats.Reclusterings++
+	var ios []PhysIO
+	budget := c.ioBudget()
+	curAff := c.Affinity(o, cur)
+	bestPg := storage.NilPage
+	bestAff := curAff
+	for _, pg := range c.candidatePages(o) {
+		if pg == cur {
+			continue
+		}
+		more, usable, err := c.inspect(pg, &budget)
+		ios = append(ios, more...)
+		if err != nil {
+			return Placement{IOs: ios, Page: cur}, err
+		}
+		if !usable || !c.Store.Fits(o.Size, pg) {
+			continue
+		}
+		if a := c.Affinity(o, pg); a > bestAff {
+			bestAff, bestPg = a, pg
+		}
+	}
+	if bestPg == storage.NilPage {
+		return Placement{IOs: ios, Page: cur}, nil
+	}
+	// Moving rewrites both pages; the current page must be resident to take
+	// the object off it.
+	res, err := c.Pool.Access(cur)
+	if err != nil {
+		return Placement{IOs: ios, Page: cur}, err
+	}
+	ios = append(ios, ExpandAccess(res, cur)...)
+	if err := c.Store.Move(o.ID, bestPg); err != nil {
+		return Placement{IOs: ios, Page: cur}, err
+	}
+	c.stats.Moves++
+	return Placement{
+		IOs:        ios,
+		Page:       bestPg,
+		DirtyPages: []storage.PageID{cur, bestPg},
+		Moved:      true,
+	}, nil
+}

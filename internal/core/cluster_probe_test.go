@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"oodb/internal/buffer"
+	"oodb/internal/model"
+	"oodb/internal/storage"
+)
+
+func TestClusterProbe(t *testing.T) {
+	g := model.NewGraph()
+	freq := model.FreqProfile{}
+	freq[model.ConfigUp] = 0.6
+	leafT, _ := g.DefineType("leaf", model.NilType, 100, freq, nil)
+	rootFreq := model.FreqProfile{}
+	rootFreq[model.ConfigDown] = 0.5
+	rootT, _ := g.DefineType("root", model.NilType, 200, rootFreq, nil)
+
+	st := storage.NewManager(g, 4096)
+	pool := buffer.NewPool(8, buffer.NewLRU())
+	c := NewClusterer(g, st, pool)
+	c.Policy = PolicyNoLimit
+
+	root, _ := g.NewObject("R", 1, rootT)
+	if _, err := c.PlaceNew(root); err != nil {
+		t.Fatal(err)
+	}
+	rootPg := st.PageOf(root.ID)
+	for i := 0; i < 10; i++ {
+		leaf, _ := g.NewObject("L", i, leafT)
+		if err := g.Attach(root.ID, leaf.ID); err != nil {
+			t.Fatal(err)
+		}
+		pl, err := c.PlaceNew(leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("leaf %d -> page %d (root on %d) ios=%d", i, pl.Page, rootPg, len(pl.IOs))
+		if pl.Page != rootPg {
+			t.Errorf("leaf %d not co-located: page %d vs root %d", i, pl.Page, rootPg)
+		}
+	}
+	t.Logf("stats: %+v", c.Stats())
+}

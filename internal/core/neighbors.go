@@ -1,0 +1,165 @@
+package core
+
+import (
+	"sort"
+
+	"oodb/internal/model"
+	"oodb/internal/storage"
+)
+
+// NeighborPages returns the distinct pages holding o's one-hop neighbors
+// along kind, excluding o's own page and unplaced neighbors, in traversal
+// order. limit bounds the result (0 means unbounded).
+func NeighborPages(g *model.Graph, st *storage.Manager, o *model.Object, kind model.RelKind, limit int) []storage.PageID {
+	own := st.PageOf(o.ID)
+	var out []storage.PageID
+	seen := make(map[storage.PageID]struct{}, 8)
+	for _, n := range o.Neighbors(kind) {
+		pg := st.PageOf(n)
+		if pg == storage.NilPage || pg == own {
+			continue
+		}
+		if _, ok := seen[pg]; ok {
+			continue
+		}
+		seen[pg] = struct{}{}
+		out = append(out, pg)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// rankedKinds returns the relationship kinds in descending effective
+// traversal frequency for o. When a user hint is active (and honored), the
+// hinted kind ranks first regardless of frequency; configuration hints also
+// promote the opposite configuration direction just below.
+func rankedKinds(o *model.Object, hints HintPolicy, hint Hint) []model.RelKind {
+	kinds := make([]model.RelKind, 0, model.NumRelKinds)
+	for k := model.RelKind(0); k < model.NumRelKinds; k++ {
+		kinds = append(kinds, k)
+	}
+	sort.SliceStable(kinds, func(i, j int) bool {
+		return o.Freq[kinds[i]] > o.Freq[kinds[j]]
+	})
+	if hints != UserHints || !hint.Active {
+		return kinds
+	}
+	// Promote the hinted kind to the front, preserving relative order of the
+	// rest.
+	out := make([]model.RelKind, 0, len(kinds))
+	out = append(out, hint.Kind)
+	for _, k := range kinds {
+		if k != hint.Kind {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// PrefetchGroup returns the pages the paper's prefetch hints would target
+// when touching o: for a configuration hint, the pages of the immediate
+// subcomponents; for a version hint, the immediate ancestor and descendants;
+// for correspondence, all corresponding objects; for inheritance, the
+// inheritance source. Without an active hint, the object's dominant
+// relationship kind is used.
+func PrefetchGroup(g *model.Graph, st *storage.Manager, o *model.Object, hints HintPolicy, hint Hint) []storage.PageID {
+	kind := o.Freq.Dominant()
+	if hints == UserHints && hint.Active {
+		kind = hint.Kind
+	}
+	pages := NeighborPages(g, st, o, kind, 0)
+	// Version hints fetch both directions of the history.
+	switch kind {
+	case model.VersionAncestor:
+		pages = mergePages(pages, NeighborPages(g, st, o, model.VersionDescendant, 0))
+	case model.VersionDescendant:
+		pages = mergePages(pages, NeighborPages(g, st, o, model.VersionAncestor, 0))
+	}
+	return pages
+}
+
+func mergePages(a, b []storage.PageID) []storage.PageID {
+	seen := make(map[storage.PageID]struct{}, len(a)+len(b))
+	out := a[:0:len(a)]
+	for _, p := range a {
+		if _, ok := seen[p]; !ok {
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	for _, p := range b {
+		if _, ok := seen[p]; !ok {
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SiblingPages returns the distinct pages holding o's siblings — the other
+// components of o's composites — excluding o's own page. Siblings are
+// co-retrieved whenever the composite is expanded, so placing an object with
+// its siblings is as valuable as placing it with its composite once the
+// composite's page is full; sibling pages are the "next best candidates" of
+// Section 2.1.
+func SiblingPages(g *model.Graph, st *storage.Manager, o *model.Object, limit int) []storage.PageID {
+	own := st.PageOf(o.ID)
+	var out []storage.PageID
+	seen := make(map[storage.PageID]struct{}, 8)
+	for _, comp := range o.Composites {
+		co := g.Object(comp)
+		if co == nil {
+			continue
+		}
+		for _, sib := range co.Components {
+			if sib == o.ID {
+				continue
+			}
+			pg := st.PageOf(sib)
+			if pg == storage.NilPage || pg == own {
+				continue
+			}
+			if _, ok := seen[pg]; ok {
+				continue
+			}
+			seen[pg] = struct{}{}
+			out = append(out, pg)
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// ContextNeighborLimit bounds how many related pages the context-sensitive
+// replacement policy boosts per access. Keeping it modest is what leaves
+// room for prefetch-within-buffer to add value at high structure density
+// (Figure 5.12).
+const ContextNeighborLimit = 4
+
+// ContextBoostPages returns the related pages the context-sensitive policy
+// raises on each access: the top pages along the object's two most traversed
+// relationship kinds, bounded by ContextNeighborLimit.
+func ContextBoostPages(g *model.Graph, st *storage.Manager, o *model.Object) []storage.PageID {
+	return ContextBoostPagesN(g, st, o, ContextNeighborLimit)
+}
+
+// ContextBoostPagesN is ContextBoostPages with an explicit page bound
+// (ablation knob; 0 disables boosting entirely).
+func ContextBoostPagesN(g *model.Graph, st *storage.Manager, o *model.Object, limit int) []storage.PageID {
+	if limit <= 0 {
+		return nil
+	}
+	kinds := rankedKinds(o, NoHints, Hint{})
+	var out []storage.PageID
+	for _, k := range kinds[:2] {
+		out = mergePages(out, NeighborPages(g, st, o, k, limit-len(out)))
+		if len(out) >= limit {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"oodb/internal/model"
+	"oodb/internal/storage"
+)
+
+func TestNeighborPages(t *testing.T) {
+	f := newFixture(t, 4096, 8)
+	root, _ := f.g.NewObject("R", 1, f.rootT)
+	root.Size = 4000
+	f.mustPlace(t, root)
+	l1 := f.newLeafUnder(t, root.ID, 1)
+	f.mustPlace(t, l1) // root full -> elsewhere
+	l2 := f.newLeafUnder(t, root.ID, 2)
+	f.mustPlace(t, l2)
+
+	pages := NeighborPages(f.g, f.st, l1, model.ConfigUp, 0)
+	if len(pages) != 1 || pages[0] != f.st.PageOf(root.ID) {
+		t.Fatalf("neighbor pages: %v", pages)
+	}
+	// Own page excluded.
+	if got := NeighborPages(f.g, f.st, root, model.ConfigDown, 0); len(got) != 1 {
+		// l1 and l2 share a page (sibling packing), distinct from root's.
+		t.Fatalf("root's component pages: %v", got)
+	}
+	// Limit respected.
+	if got := NeighborPages(f.g, f.st, root, model.ConfigDown, 1); len(got) != 1 {
+		t.Fatalf("limit ignored: %v", got)
+	}
+	// Unplaced neighbors skipped.
+	l3 := f.newLeafUnder(t, root.ID, 3)
+	_ = l3
+	if got := NeighborPages(f.g, f.st, root, model.ConfigDown, 0); len(got) != 1 {
+		t.Fatalf("unplaced neighbor leaked: %v", got)
+	}
+}
+
+func TestSiblingPages(t *testing.T) {
+	f := newFixture(t, 4096, 8)
+	root, _ := f.g.NewObject("R", 1, f.rootT)
+	root.Size = 4000
+	f.mustPlace(t, root)
+	l1 := f.newLeafUnder(t, root.ID, 1)
+	f.mustPlace(t, l1)
+	l2 := f.newLeafUnder(t, root.ID, 2)
+	// l2 unplaced: its sibling pages = l1's page.
+	pages := SiblingPages(f.g, f.st, l2, 0)
+	if len(pages) != 1 || pages[0] != f.st.PageOf(l1.ID) {
+		t.Fatalf("sibling pages: %v", pages)
+	}
+	// An object with no composites has no siblings.
+	lone, _ := f.g.NewObject("X", 1, f.leafT)
+	if got := SiblingPages(f.g, f.st, lone, 0); got != nil {
+		t.Fatalf("lone sibling pages: %v", got)
+	}
+}
+
+func TestRankedKindsHonorHints(t *testing.T) {
+	f := newFixture(t, 4096, 8)
+	leaf, _ := f.g.NewObject("L", 1, f.leafT) // ConfigUp dominant
+	kinds := rankedKinds(leaf, NoHints, Hint{})
+	if kinds[0] != model.ConfigUp {
+		t.Fatalf("dominant kind first: %v", kinds)
+	}
+	kinds = rankedKinds(leaf, UserHints, Hint{Kind: model.Correspondence, Active: true})
+	if kinds[0] != model.Correspondence {
+		t.Fatalf("hint must come first: %v", kinds)
+	}
+	if len(kinds) != int(model.NumRelKinds) {
+		t.Fatalf("kinds must be a permutation: %v", kinds)
+	}
+	// Inactive hint is ignored even under UserHints.
+	kinds = rankedKinds(leaf, UserHints, Hint{Kind: model.Correspondence})
+	if kinds[0] != model.ConfigUp {
+		t.Fatalf("inactive hint must not steer: %v", kinds)
+	}
+}
+
+func TestPrefetchGroupVersionFetchesBothDirections(t *testing.T) {
+	g := model.NewGraph()
+	var f model.FreqProfile
+	f[model.VersionAncestor] = 0.9
+	ty, _ := g.DefineType("t", model.NilType, 3000, f, nil)
+	st := storage.NewManager(g, 4096)
+	a, _ := g.NewObject("A", 1, ty)
+	b, _ := g.Derive(a.ID)
+	c, _ := g.Derive(b.ID)
+	for _, o := range []*model.Object{a, b, c} {
+		pg := st.AllocatePage()
+		if err := st.Place(o.ID, pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	group := PrefetchGroup(g, st, b, NoHints, Hint{})
+	if len(group) != 2 {
+		t.Fatalf("version prefetch group must include ancestor and descendants: %v", group)
+	}
+}
+
+func TestContextBoostPagesBounded(t *testing.T) {
+	f := newFixture(t, 256, 8) // tiny pages: every object on its own page
+	root, _ := f.g.NewObject("R", 1, f.rootT)
+	f.mustPlace(t, root)
+	for i := 0; i < 10; i++ {
+		leaf := f.newLeafUnder(t, root.ID, i)
+		f.mustPlace(t, leaf)
+	}
+	got := ContextBoostPages(f.g, f.st, root)
+	if len(got) > ContextNeighborLimit {
+		t.Fatalf("boost pages %d exceed limit %d", len(got), ContextNeighborLimit)
+	}
+	if len(got) == 0 {
+		t.Fatal("expected some boost pages")
+	}
+}
+
+func TestMergePagesDedups(t *testing.T) {
+	a := []storage.PageID{1, 2, 3}
+	b := []storage.PageID{3, 4, 1, 5}
+	got := mergePages(a, b)
+	want := []storage.PageID{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("merge: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge order: %v", got)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"oodb/internal/buffer"
+	"oodb/internal/model"
+	"oodb/internal/storage"
+)
+
+// Prefetcher implements the three prefetch scopes of Table 4.1 over the
+// structural neighborhoods of accessed objects.
+type Prefetcher struct {
+	Graph *model.Graph
+	Store *storage.Manager
+	Pool  *buffer.Pool
+
+	Policy PrefetchPolicy
+	Hints  HintPolicy
+	Hint   Hint
+
+	// Stats.
+	GroupPages    int // pages in computed prefetch groups
+	PrefetchReads int // physical reads issued (within-DB only)
+	BoostsIssued  int // priority adjustments (within-buffer)
+}
+
+// ExpandAccess converts a pool AccessResult into the physical I/Os it
+// implies: flush the dirty victim, then read the page.
+func ExpandAccess(res buffer.AccessResult, pg storage.PageID) []PhysIO {
+	if res.Hit {
+		return nil
+	}
+	var ios []PhysIO
+	if res.VictimDirty {
+		ios = append(ios, WriteOf(res.Victim))
+	}
+	return append(ios, ReadOf(pg))
+}
+
+// OnAccess runs the prefetch policy after object o was touched, returning
+// the physical I/Os prefetching triggered (empty except within-DB).
+func (pf *Prefetcher) OnAccess(o *model.Object) ([]PhysIO, error) {
+	if pf.Policy == NoPrefetch {
+		return nil, nil
+	}
+	group := PrefetchGroup(pf.Graph, pf.Store, o, pf.Hints, pf.Hint)
+	pf.GroupPages += len(group)
+	switch pf.Policy {
+	case PrefetchWithinBuffer:
+		// Priority adjustment only; never an I/O.
+		for _, pg := range group {
+			if pf.Pool.Contains(pg) {
+				pf.Pool.Boost(pg)
+				pf.BoostsIssued++
+			}
+		}
+		return nil, nil
+	case PrefetchWithinDB:
+		var ios []PhysIO
+		for _, pg := range group {
+			res, err := pf.Pool.Access(pg)
+			if err != nil {
+				return ios, err
+			}
+			if !res.Hit {
+				pf.PrefetchReads++
+			}
+			ios = append(ios, ExpandAccess(res, pg)...)
+			// Prefetched pages get the same high priority as the accessed
+			// page.
+			pf.Pool.Boost(pg)
+		}
+		return ios, nil
+	}
+	return nil, nil
+}

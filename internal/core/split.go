@@ -1,0 +1,376 @@
+package core
+
+import (
+	"sort"
+
+	"oodb/internal/model"
+)
+
+// The page-splitting problem (Section 2.1): partition the objects of an
+// overflowing page (plus the incoming object) into two sets that each fit a
+// page, minimizing the total traversal frequency of the structural arcs the
+// partition breaks. This is graph partitioning, NP-complete in general; the
+// paper evaluates a one-pass greedy heuristic (Linear_Split) against the
+// exact minimum (NP_Split).
+
+// PartGraph is the inheritance-dependency graph of a candidate split: the
+// objects involved, their sizes, and weighted arcs between objects that are
+// structurally related (configuration, version, correspondence, or
+// inheritance), with weight equal to the traversal frequency of the
+// relationship.
+type PartGraph struct {
+	Nodes []model.ObjectID
+	Sizes []int
+	Arcs  []Arc
+
+	index map[model.ObjectID]int
+	adj   [][]adjArc
+}
+
+// Arc is a weighted undirected arc between node indices A and B.
+type Arc struct {
+	A, B int
+	W    float64
+}
+
+type adjArc struct {
+	to int
+	w  float64
+}
+
+// BuildPartGraph constructs the dependency graph over the given objects.
+// Arc weights sum the traversal frequencies of every relationship connecting
+// the pair, in both directions.
+func BuildPartGraph(g *model.Graph, ids []model.ObjectID) *PartGraph {
+	pg := &PartGraph{
+		Nodes: append([]model.ObjectID(nil), ids...),
+		Sizes: make([]int, len(ids)),
+		index: make(map[model.ObjectID]int, len(ids)),
+	}
+	for i, id := range pg.Nodes {
+		pg.index[id] = i
+		if o := g.Object(id); o != nil {
+			pg.Sizes[i] = o.Size
+		}
+	}
+	// Accumulate pairwise weights.
+	weights := make(map[[2]int]float64)
+	for i, id := range pg.Nodes {
+		o := g.Object(id)
+		if o == nil {
+			continue
+		}
+		for kind := model.RelKind(0); kind < model.NumRelKinds; kind++ {
+			w := o.Freq[kind]
+			if w <= 0 {
+				continue
+			}
+			for _, n := range o.Neighbors(kind) {
+				j, ok := pg.index[n]
+				if !ok || j == i {
+					continue
+				}
+				key := [2]int{i, j}
+				if j < i {
+					key = [2]int{j, i}
+				}
+				weights[key] += w
+			}
+		}
+	}
+	pg.adj = make([][]adjArc, len(pg.Nodes))
+	// Deterministic arc order.
+	keys := make([][2]int, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		w := weights[k]
+		pg.Arcs = append(pg.Arcs, Arc{A: k[0], B: k[1], W: w})
+		pg.adj[k[0]] = append(pg.adj[k[0]], adjArc{to: k[1], w: w})
+		pg.adj[k[1]] = append(pg.adj[k[1]], adjArc{to: k[0], w: w})
+	}
+	return pg
+}
+
+// TotalWeight returns the sum of all arc weights.
+func (pg *PartGraph) TotalWeight() float64 {
+	t := 0.0
+	for _, a := range pg.Arcs {
+		t += a.W
+	}
+	return t
+}
+
+// Partition is a two-way split of a PartGraph. Side false stays on the
+// original page, side true moves to the new page.
+type Partition struct {
+	Side []bool
+	Cut  float64
+}
+
+// SideObjects returns the object IDs on the given side.
+func (p Partition) SideObjects(pg *PartGraph, side bool) []model.ObjectID {
+	var out []model.ObjectID
+	for i, s := range p.Side {
+		if s == side {
+			out = append(out, pg.Nodes[i])
+		}
+	}
+	return out
+}
+
+func (pg *PartGraph) cutOf(side []bool) float64 {
+	c := 0.0
+	for _, a := range pg.Arcs {
+		if side[a.A] != side[a.B] {
+			c += a.W
+		}
+	}
+	return c
+}
+
+func (pg *PartGraph) sideSizes(side []bool) (a, b int) {
+	for i, s := range side {
+		if s {
+			b += pg.Sizes[i]
+		} else {
+			a += pg.Sizes[i]
+		}
+	}
+	return a, b
+}
+
+// GreedySplit is the paper's Linear_Split: arcs are scanned once in
+// descending weight order, merging node groups whose combined size still
+// fits a page; the resulting groups are then packed onto the two sides by
+// first-fit decreasing. It runs in O(E log E) (the sort dominates; the scan
+// itself is linear as in [CHAN87a]) and does not try to be optimal.
+// ok is false when no feasible packing exists.
+func GreedySplit(pg *PartGraph, capacity int) (Partition, bool) {
+	n := len(pg.Nodes)
+	if n == 0 {
+		return Partition{}, false
+	}
+	// Union-find with group sizes.
+	parent := make([]int, n)
+	gsize := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+		gsize[i] = pg.Sizes[i]
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	arcs := append([]Arc(nil), pg.Arcs...)
+	sort.SliceStable(arcs, func(i, j int) bool { return arcs[i].W > arcs[j].W })
+	for _, a := range arcs {
+		ra, rb := find(a.A), find(a.B)
+		if ra == rb {
+			continue
+		}
+		if gsize[ra]+gsize[rb] <= capacity {
+			parent[rb] = ra
+			gsize[ra] += gsize[rb]
+		}
+	}
+	// Collect groups.
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	type grp struct {
+		members []int
+		size    int
+	}
+	var gs []grp
+	for r, members := range groups {
+		gs = append(gs, grp{members: members, size: gsize[r]})
+	}
+	sort.Slice(gs, func(i, j int) bool {
+		if gs[i].size != gs[j].size {
+			return gs[i].size > gs[j].size
+		}
+		return gs[i].members[0] < gs[j].members[0]
+	})
+	// First-fit decreasing into two bins.
+	side := make([]bool, n)
+	usedA, usedB := 0, 0
+	for _, g := range gs {
+		switch {
+		case usedA+g.size <= capacity:
+			usedA += g.size
+		case usedB+g.size <= capacity:
+			usedB += g.size
+			for _, m := range g.members {
+				side[m] = true
+			}
+		default:
+			// Group-level packing failed; fall back to splitting this group
+			// member by member.
+			for _, m := range g.members {
+				switch {
+				case usedA+pg.Sizes[m] <= capacity:
+					usedA += pg.Sizes[m]
+				case usedB+pg.Sizes[m] <= capacity:
+					usedB += pg.Sizes[m]
+					side[m] = true
+				default:
+					return Partition{}, false
+				}
+			}
+		}
+	}
+	if usedB == 0 && usedA > capacity {
+		return Partition{}, false
+	}
+	return Partition{Side: side, Cut: pg.cutOf(side)}, true
+}
+
+// maxExactNodes bounds the branch-and-bound search; pages hold few objects,
+// so this is rarely reached. Beyond it, OptimalSplit refines the greedy
+// solution with local moves instead of exhaustive search.
+const maxExactNodes = 24
+
+// OptimalSplit is the paper's NP_Split: the minimum-cut feasible partition.
+// For up to maxExactNodes nodes it is exact (branch-and-bound seeded with
+// the greedy solution, so it never does worse than GreedySplit); for larger
+// graphs it falls back to greedy plus hill-climbing node moves and swaps.
+// ok is false when no feasible partition exists.
+func OptimalSplit(pg *PartGraph, capacity int) (Partition, bool) {
+	n := len(pg.Nodes)
+	greedy, gok := GreedySplit(pg, capacity)
+	if n > maxExactNodes {
+		if !gok {
+			return Partition{}, false
+		}
+		return refine(pg, greedy, capacity), true
+	}
+	best := Partition{Cut: 1e18}
+	haveBest := false
+	if gok {
+		best = greedy
+		haveBest = true
+	}
+	// Order nodes by total incident weight, heaviest first, for earlier
+	// pruning.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	deg := make([]float64, n)
+	for _, a := range pg.Arcs {
+		deg[a.A] += a.W
+		deg[a.B] += a.W
+	}
+	sort.SliceStable(order, func(i, j int) bool { return deg[order[i]] > deg[order[j]] })
+
+	side := make([]bool, n)
+	assigned := make([]bool, n)
+	var dfs func(pos int, usedA, usedB int, cut float64)
+	dfs = func(pos int, usedA, usedB int, cut float64) {
+		if cut >= best.Cut {
+			return
+		}
+		if pos == n {
+			if usedA <= capacity && usedB <= capacity {
+				best = Partition{Side: append([]bool(nil), side...), Cut: cut}
+				haveBest = true
+			}
+			return
+		}
+		node := order[pos]
+		assigned[node] = true
+		for _, s := range [2]bool{false, true} {
+			if pos == 0 && s {
+				break // symmetry: first node stays on side A
+			}
+			sz := pg.Sizes[node]
+			ua, ub := usedA, usedB
+			if s {
+				ub += sz
+			} else {
+				ua += sz
+			}
+			if ua > capacity || ub > capacity {
+				continue
+			}
+			add := 0.0
+			for _, e := range pg.adj[node] {
+				if assigned[e.to] && e.to != node && side[e.to] != s {
+					add += e.w
+				}
+			}
+			side[node] = s
+			dfs(pos+1, ua, ub, cut+add)
+		}
+		assigned[node] = false
+	}
+	dfs(0, 0, 0, 0)
+	if !haveBest {
+		return Partition{}, false
+	}
+	return best, true
+}
+
+// refine hill-climbs a feasible partition: single-node moves and pairwise
+// swaps that reduce the cut while staying feasible, until a fixed point
+// (bounded rounds).
+func refine(pg *PartGraph, p Partition, capacity int) Partition {
+	side := append([]bool(nil), p.Side...)
+	usedA, usedB := pg.sideSizes(side)
+	gain := func(i int) float64 {
+		// Cut change if node i switches sides: arcs to the same side become
+		// cut (+w), arcs across become internal (-w).
+		d := 0.0
+		for _, e := range pg.adj[i] {
+			if side[e.to] == side[i] {
+				d += e.w
+			} else {
+				d -= e.w
+			}
+		}
+		return d // negative d means the move reduces the cut
+	}
+	for round := 0; round < 16; round++ {
+		improved := false
+		for i := range side {
+			d := gain(i)
+			if d >= 0 {
+				continue
+			}
+			sz := pg.Sizes[i]
+			if side[i] { // B -> A
+				if usedA+sz > capacity {
+					continue
+				}
+				usedA += sz
+				usedB -= sz
+			} else { // A -> B
+				if usedB+sz > capacity {
+					continue
+				}
+				usedB += sz
+				usedA -= sz
+			}
+			side[i] = !side[i]
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	return Partition{Side: side, Cut: pg.cutOf(side)}
+}

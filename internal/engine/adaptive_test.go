@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"testing"
+
+	"oodb/internal/core"
+	"oodb/internal/lock"
+	"oodb/internal/model"
+	"oodb/internal/workload"
+)
+
+func TestAdaptiveStateDefaults(t *testing.T) {
+	a := newAdaptiveState(Config{Transactions: 100})
+	if a.threshold != 10 || a.window != 200 {
+		t.Fatalf("defaults: threshold=%v window=%d", a.threshold, a.window)
+	}
+	if a.phaseRatio(5) != 0 {
+		t.Fatal("no phases configured but phaseRatio nonzero")
+	}
+}
+
+func TestAdaptivePhaseRatio(t *testing.T) {
+	a := newAdaptiveState(Config{Transactions: 100, PhasedRW: []float64{100, 2}})
+	if a.phaseLen != 50 {
+		t.Fatalf("phaseLen=%d", a.phaseLen)
+	}
+	if a.phaseRatio(0) != 100 || a.phaseRatio(49) != 100 {
+		t.Fatal("first phase wrong")
+	}
+	if a.phaseRatio(50) != 2 || a.phaseRatio(99) != 2 {
+		t.Fatal("second phase wrong")
+	}
+	// Past the schedule: clamp to the last phase.
+	if a.phaseRatio(500) != 2 {
+		t.Fatal("overflow clamp wrong")
+	}
+}
+
+func TestAdaptiveObserve(t *testing.T) {
+	a := newAdaptiveState(Config{Transactions: 100, AdaptiveWindow: 8, AdaptiveThreshold: 3})
+	// Until a quarter of the window fills, no signal.
+	if got := a.observe(false); got != -1 {
+		t.Fatalf("early signal: %v", got)
+	}
+	// Feed 7 reads and 1 write: ratio 7.
+	for i := 0; i < 6; i++ {
+		a.observe(false)
+	}
+	got := a.observe(true)
+	if got != 7 {
+		t.Fatalf("observed ratio %v, want 7", got)
+	}
+	if pol := a.policyFor(got); pol != core.PolicyNoLimit {
+		t.Fatalf("ratio 7 >= threshold 3 should pick No_limit: %v", pol)
+	}
+	// Slide the window toward writes.
+	for i := 0; i < 8; i++ {
+		got = a.observe(true)
+	}
+	if got != 0 {
+		t.Fatalf("all-write window ratio %v", got)
+	}
+	if pol := a.policyFor(got); pol != core.PolicyIOLimit2 {
+		t.Fatalf("low ratio should pick 2_IO_limit: %v", pol)
+	}
+}
+
+func TestLockSetMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		req  workload.Txn
+		want []lockRequest
+	}{
+		{"read", workload.Txn{Kind: workload.QComponentRetrieval, Target: 5},
+			[]lockRequest{{5, lock.Shared}}},
+		{"update", workload.Txn{Kind: workload.QUpdate, Target: 5},
+			[]lockRequest{{5, lock.Exclusive}}},
+		{"insert", workload.Txn{Kind: workload.QInsert, AttachTo: 9},
+			[]lockRequest{{9, lock.Exclusive}}},
+		{"struct-update sorted", workload.Txn{Kind: workload.QStructUpdate, Target: 9, AttachTo: 3},
+			[]lockRequest{{3, lock.Exclusive}, {9, lock.Exclusive}}},
+		{"scan", workload.Txn{Kind: workload.QScan, Scan: []model.ObjectID{4, 2, 4}},
+			[]lockRequest{{2, lock.Shared}, {4, lock.Shared}}},
+		{"derive", workload.Txn{Kind: workload.QDerive, Target: 7},
+			[]lockRequest{{7, lock.Exclusive}}},
+	}
+	for _, c := range cases {
+		got := lockSet(c.req)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: got %v want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: got %v want %v", c.name, got, c.want)
+				break
+			}
+		}
+	}
+	// Self re-link: the stronger mode wins on the merged entry.
+	got := lockSet(workload.Txn{Kind: workload.QStructUpdate, Target: 4, AttachTo: 4})
+	if len(got) != 1 || got[0].mode != lock.Exclusive {
+		t.Fatalf("merged lock set: %v", got)
+	}
+}
+
+// TestAblationKnobs: both ablation switches run end to end and the sibling
+// knob changes physical layout.
+func TestAblationKnobs(t *testing.T) {
+	cfg := quickConfig(300)
+	cfg.Replacement = core.ReplContext
+	cfg.ContextBoostLimit = -1 // boosting disabled
+	res := run(t, cfg)
+	if res.Completed < cfg.Transactions {
+		t.Fatal("boost-off run incomplete")
+	}
+
+	cfg2 := quickConfig(300)
+	cfg2.Density = workload.HighDensity
+	cfg2.NoSiblingCandidates = true
+	res2 := run(t, cfg2)
+	if res2.Completed < cfg2.Transactions {
+		t.Fatal("sibling-off run incomplete")
+	}
+}

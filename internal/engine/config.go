@@ -1,0 +1,200 @@
+// Package engine binds the functional storage stack (model, storage,
+// buffer, core, txlog) to the discrete-event simulator, reproducing the
+// paper's simulation model (Section 4): a workstation cluster of interactive
+// users with think time, a workload-definition stage, a buffer manager, a
+// cluster manager, a CPU, and an I/O subsystem of FCFS disks plus a
+// dedicated log disk. A logical I/O expands into zero to three physical
+// I/Os (dirty-victim flush, transaction-log write, data read), exactly the
+// worst case the paper describes.
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"oodb/internal/core"
+	"oodb/internal/model"
+	"oodb/internal/workload"
+)
+
+// Config carries the static and control parameters of Table 4.1 plus the
+// simulation-mechanics knobs.
+type Config struct {
+	// --- Static parameters (Table 4.1, defaults in parentheses) ---
+
+	// DBBytes is the database size (500 MB, scaled).
+	DBBytes int
+	// PageSize is the page size in bytes (4 KB).
+	PageSize int
+	// Users is the number of interactive users (10).
+	Users int
+	// Disks is the number of data disks (10); the log gets its own disk.
+	Disks int
+	// ThinkTime is the mean user think time in seconds (4 s, exponential).
+	ThinkTime float64
+
+	// --- Control parameters (Table 4.1) ---
+
+	// Density is the structure-density class (F).
+	Density workload.DensityClass
+	// ReadWriteRatio is reads per write (G).
+	ReadWriteRatio float64
+	// Cluster is the clustering policy (H).
+	Cluster core.ClusterPolicy
+	// Split is the page-splitting policy (I).
+	Split core.SplitPolicy
+	// Hints is the user-hint policy (J).
+	Hints core.HintPolicy
+	// Replacement is the buffer replacement policy (K).
+	Replacement core.Replacement
+	// Buffers is the buffer-pool size in frames (L: 100/1000/10000, scaled).
+	Buffers int
+	// Prefetch is the prefetch policy (M).
+	Prefetch core.PrefetchPolicy
+
+	// --- Simulation mechanics ---
+
+	// Seed drives all random streams; identical seeds replay identically.
+	Seed int64
+	// Transactions is the number of measured transactions to complete.
+	Transactions int
+	// Warmup is the number of initial transactions excluded from the
+	// response-time and I/O statistics (they still execute and warm the
+	// buffer pool). Zero keeps the paper-style full-window measurement.
+	Warmup int
+	// DiskServiceTime is the per-physical-I/O disk service time (25 ms —
+	// a late-1980s disk).
+	DiskServiceTime float64
+	// CPUPerLogicalOp is CPU service per logical operation (1 ms).
+	CPUPerLogicalOp float64
+	// CPUPerPhysIO is CPU path length per physical I/O (0.3 ms).
+	CPUPerPhysIO float64
+	// LogBufBytes is the circular log buffer capacity (64 KB).
+	LogBufBytes int
+	// Locking enables object-granularity concurrency control: transactions
+	// take shared/exclusive locks on their primary objects (the composite
+	// root of a navigation, the objects a write touches) and queue on
+	// conflict. The paper's model locks at object granularity; disable only
+	// to isolate storage effects.
+	Locking bool
+	// HintKind is the relationship user hints advertise when Hints is
+	// UserHints; design tools overwhelmingly hint configuration access.
+	HintKind core.Hint
+
+	// --- Extensions (the paper's Section 6 future-work directions) ---
+
+	// PhasedRW, when non-empty, divides the run into equal phases cycling
+	// through these read/write ratios — modeling Section 3.3's observation
+	// that one application's phases vary from 0.52 to 170. It overrides
+	// ReadWriteRatio after the first phase.
+	PhasedRW []float64
+
+	// AdaptiveClustering enables the run-time policy selection the paper's
+	// conclusions recommend: the engine watches the recent read/write mix
+	// and switches the clusterer between a small I/O limit (low ratios,
+	// where writer overhead cannot be amortized) and no limit (high ratios).
+	AdaptiveClustering bool
+
+	// AdaptiveThreshold is the observed read/write ratio above which
+	// adaptive clustering switches to the unlimited candidate search
+	// (default 10, the paper's Figure 5.7 crossover).
+	AdaptiveThreshold float64
+
+	// AdaptiveWindow is the sliding window, in transactions, over which the
+	// read/write mix is observed (default 200).
+	AdaptiveWindow int
+
+	// --- Ablation knobs (DESIGN.md design-choice studies) ---
+
+	// ContextBoostLimit bounds the related pages the context-sensitive
+	// policy boosts per access; 0 means the core default
+	// (core.ContextNeighborLimit), negative disables boosting.
+	ContextBoostLimit int
+
+	// NoSiblingCandidates removes the sibling-page tier from the clustering
+	// candidate ranking.
+	NoSiblingCandidates bool
+
+	// Trace, when non-nil, receives one CSV line per completed measured
+	// transaction: seq,kind,target,response_seconds. Useful for offline
+	// analysis of the simulated access stream (the modern analogue of the
+	// paper's OCT trace collection).
+	Trace io.Writer
+}
+
+// paperDBBytes and paperBuffers are the unscaled Table 4.1 values.
+const (
+	paperDBBytes = 500 << 20
+	paperBuffers = 1000
+)
+
+// DefaultConfig returns the paper's parameter set scaled by scale: database
+// bytes and buffer frames shrink together, preserving the 0.76%
+// buffer-to-database ratio that sets the paper's hit-ratio regime.
+// scale 1.0 is the full 500 MB / 1000-frame configuration.
+func DefaultConfig(scale float64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	buffers := int(float64(paperBuffers) * scale)
+	if buffers < 8 {
+		buffers = 8
+	}
+	dbBytes := int(float64(paperDBBytes) * scale)
+	if dbBytes < 64<<10 {
+		dbBytes = 64 << 10
+	}
+	return Config{
+		DBBytes:         dbBytes,
+		PageSize:        4096,
+		Users:           10,
+		Disks:           10,
+		ThinkTime:       4.0,
+		Density:         workload.MedDensity,
+		ReadWriteRatio:  10,
+		Cluster:         core.PolicyNoLimit,
+		Split:           core.LinearSplit,
+		Hints:           core.NoHints,
+		Replacement:     core.ReplLRU,
+		Buffers:         buffers,
+		Prefetch:        core.NoPrefetch,
+		Seed:            1,
+		Transactions:    4000,
+		DiskServiceTime: 0.025,
+		CPUPerLogicalOp: 0.001,
+		CPUPerPhysIO:    0.0003,
+		LogBufBytes:     64 << 10,
+		Locking:         true,
+		HintKind:        core.Hint{Kind: model.ConfigDown, Active: true},
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.DBBytes <= 0:
+		return fmt.Errorf("engine: DBBytes must be positive")
+	case c.PageSize <= 0:
+		return fmt.Errorf("engine: PageSize must be positive")
+	case c.Users <= 0:
+		return fmt.Errorf("engine: Users must be positive")
+	case c.Disks <= 0:
+		return fmt.Errorf("engine: Disks must be positive")
+	case c.Buffers <= 0:
+		return fmt.Errorf("engine: Buffers must be positive")
+	case c.Transactions <= 0:
+		return fmt.Errorf("engine: Transactions must be positive")
+	case c.ReadWriteRatio <= 0:
+		return fmt.Errorf("engine: ReadWriteRatio must be positive")
+	case c.LogBufBytes <= 0:
+		return fmt.Errorf("engine: LogBufBytes must be positive")
+	}
+	return nil
+}
+
+// Label summarizes the control parameters for report rows.
+func (c Config) Label() string {
+	return fmt.Sprintf("%s-%g %s/%s/%s %s+%s buf=%d",
+		c.Density.Short(), c.ReadWriteRatio,
+		c.Cluster, c.Split, c.Hints, c.Replacement, c.Prefetch, c.Buffers)
+}

@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"oodb/internal/buffer"
+	"oodb/internal/core"
+	"oodb/internal/lock"
+	"oodb/internal/model"
+	"oodb/internal/sim"
+	"oodb/internal/storage"
+	"oodb/internal/txlog"
+	"oodb/internal/workload"
+)
+
+// Engine is one simulated DBMS server plus its client workstations.
+type Engine struct {
+	cfg Config
+
+	sim   *sim.Sim
+	db    *workload.Database
+	graph *model.Graph
+	store *storage.Manager
+	pool  *buffer.Pool
+	clust *core.Clusterer
+	pf    *core.Prefetcher
+	log   *txlog.Manager
+	gen   *workload.Generator
+
+	cpu     *sim.Station
+	disks   []*sim.Station
+	logDisk *sim.Station
+	locks   *lock.Manager // nil when Config.Locking is false
+
+	wrkRNG  *rand.Rand // workload choices
+	nameSeq int
+	txnSeq  int
+
+	// pendingBG accumulates background (prefetch) I/Os generated while the
+	// current transaction executes; startTxn drains it to the disks.
+	pendingBG []core.PhysIO
+
+	// adapt drives the phased-R/W and adaptive-clustering extensions; nil
+	// when neither is configured.
+	adapt *adaptiveState
+
+	metrics Metrics
+	issued  int
+	stopped bool
+}
+
+// New builds an engine: it generates the logical database, then constructs
+// the physical database by replaying the creation sequences through the
+// configured clustering policy (construction I/Os are not timed and all
+// statistics are reset afterwards — the measured run starts on the database
+// that policy would have built).
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := sim.New(cfg.Seed)
+
+	spec := workload.DefaultDBSpec(cfg.Density, cfg.DBBytes)
+	spec.Seed = cfg.Seed
+	db, err := workload.Generate(spec, cfg.PageSize)
+	if err != nil {
+		return nil, fmt.Errorf("engine: generating database: %w", err)
+	}
+
+	var policy buffer.Policy
+	switch cfg.Replacement {
+	case core.ReplLRU:
+		policy = buffer.NewLRU()
+	case core.ReplRandom:
+		policy = buffer.NewRandom(s.Stream("random-replacement"), uint64(cfg.Buffers/4))
+	case core.ReplContext:
+		policy = core.NewContextPolicy(float64(cfg.Buffers) * 3 / 4)
+	default:
+		return nil, fmt.Errorf("engine: unknown replacement policy %v", cfg.Replacement)
+	}
+	pool := buffer.NewPool(cfg.Buffers, policy)
+
+	clust := core.NewClusterer(db.Graph, db.Store, pool)
+	clust.Policy = cfg.Cluster
+	clust.Split = cfg.Split
+	clust.Hints = cfg.Hints
+	clust.Hint = cfg.HintKind
+	clust.AttrCost.PageSize = cfg.PageSize
+	clust.NoSiblingCandidates = cfg.NoSiblingCandidates
+
+	pf := &core.Prefetcher{
+		Graph: db.Graph, Store: db.Store, Pool: pool,
+		Policy: cfg.Prefetch, Hints: cfg.Hints, Hint: cfg.HintKind,
+	}
+
+	e := &Engine{
+		cfg: cfg, sim: s, db: db, graph: db.Graph, store: db.Store,
+		pool: pool, clust: clust, pf: pf,
+		log:    txlog.NewManager(cfg.LogBufBytes),
+		wrkRNG: s.Stream("workload"),
+	}
+	e.gen = workload.NewGenerator(db, workload.DefaultParams(cfg.Density, cfg.ReadWriteRatio), e.wrkRNG)
+	e.metrics.warmup = cfg.Warmup
+
+	e.cpu = sim.NewStation(s, "cpu", 1)
+	for d := 0; d < cfg.Disks; d++ {
+		e.disks = append(e.disks, sim.NewStation(s, fmt.Sprintf("disk%d", d), 1))
+	}
+	e.logDisk = sim.NewStation(s, "logdisk", 1)
+
+	if cfg.Locking {
+		e.locks = lock.NewManager()
+	}
+	if len(cfg.PhasedRW) > 0 || cfg.AdaptiveClustering {
+		e.adapt = newAdaptiveState(cfg)
+	}
+
+	if err := e.constructDatabase(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// constructDatabase replays the interleaved creation order through the
+// clustering policy, then resets every statistic so the measured run starts
+// clean. The buffer pool's state is kept: the run begins with the pool warm,
+// as a long-lived server's would be.
+func (e *Engine) constructDatabase() error {
+	order := e.db.ConstructionOrder(e.sim.Stream("construction"), 4)
+	for _, id := range order {
+		o := e.graph.Object(id)
+		if o == nil {
+			return fmt.Errorf("engine: construction order references unknown object %d", id)
+		}
+		if _, err := e.clust.PlaceNew(o); err != nil {
+			return fmt.Errorf("engine: constructing database: placing %d: %w", id, err)
+		}
+	}
+	if e.store.NumPlaced() != e.graph.NumObjects() {
+		return fmt.Errorf("engine: construction placed %d of %d objects",
+			e.store.NumPlaced(), e.graph.NumObjects())
+	}
+	e.pool.ResetStats()
+	e.clust.ResetStats()
+	e.log.ResetStats()
+	return nil
+}
+
+// Run simulates until the configured number of transactions has completed
+// and returns the results.
+func (e *Engine) Run() (Results, error) {
+	think := e.sim.Stream("think")
+	for u := 0; u < e.cfg.Users; u++ {
+		user := u
+		e.sim.After(sim.Exp(think, e.cfg.ThinkTime), func() { e.userCycle(user, think) })
+	}
+	e.sim.RunAll()
+	if e.metrics.err != nil {
+		return Results{}, e.metrics.err
+	}
+	return e.results(), nil
+}
+
+// userCycle runs one user's think/submit loop. Sessions group 5–20
+// transactions; the session boundary re-registers user hints (a no-op here
+// since hints are global and static, but the structure matches the paper's
+// session model and exercises the session-length draw).
+func (e *Engine) userCycle(user int, think *rand.Rand) {
+	if e.stopped {
+		return
+	}
+	session := e.gen.SessionLength()
+	var step func(remaining int)
+	step = func(remaining int) {
+		if e.stopped {
+			return
+		}
+		if remaining == 0 {
+			e.userCycle(user, think)
+			return
+		}
+		if e.issued >= e.cfg.Transactions+e.cfg.Warmup {
+			e.stopped = true
+			return
+		}
+		e.issued++
+		e.startTxn(func() {
+			e.sim.After(sim.Exp(think, e.cfg.ThinkTime), func() { step(remaining - 1) })
+		})
+	}
+	step(session)
+}
+
+// startTxn executes one transaction: the functional layer runs atomically
+// now (determining the logical operations and the physical I/O program),
+// then the timed layer plays CPU service followed by each physical I/O
+// through the disk queues; done fires when the transaction completes.
+func (e *Engine) startTxn(done func()) {
+	t0 := e.sim.Now()
+	txn := e.txnSeq
+	e.txnSeq++
+	if e.adapt != nil {
+		if rw := e.adapt.phaseRatio(txn); rw > 0 {
+			e.gen.SetReadWriteRatio(rw)
+		}
+	}
+	req := e.gen.Next()
+	if e.adapt != nil && e.cfg.AdaptiveClustering {
+		if observed := e.adapt.observe(req.Kind.IsWrite()); observed >= 0 {
+			if pol := e.adapt.policyFor(observed); pol != e.clust.Policy {
+				e.clust.Policy = pol
+				e.adapt.Switches++
+			}
+		}
+	}
+
+	// Concurrency control first: the transaction queues on conflicting
+	// object locks, and that queueing delay is part of its response time.
+	e.withLocks(txn, lockSet(req), func() {
+		e.runLocked(txn, req, t0, done)
+	})
+}
+
+// runLocked executes a transaction that holds its locks.
+func (e *Engine) runLocked(txn int, req workload.Txn, t0 sim.Time, done func()) {
+	if err := e.log.Begin(txn); err != nil {
+		e.fail(err)
+		return
+	}
+	e.pendingBG = e.pendingBG[:0]
+	ios, logicalOps, err := e.execute(txn, req)
+	if err2 := e.log.End(txn); err == nil {
+		err = err2
+	}
+	if err != nil {
+		e.fail(err)
+		return
+	}
+
+	e.metrics.note(req.Kind, logicalOps, ios)
+	// Background prefetch I/Os load the disks (and are accounted) but do
+	// not serialize into this transaction's response path.
+	bg := append([]core.PhysIO(nil), e.pendingBG...)
+	e.metrics.noteBackground(bg)
+	for _, io := range bg {
+		e.diskFor(io).Request(e.cfg.DiskServiceTime, nil)
+	}
+
+	cpuTime := e.cfg.CPUPerLogicalOp*float64(logicalOps) + e.cfg.CPUPerPhysIO*float64(len(ios)+len(bg))
+	e.cpu.Request(cpuTime, func() {
+		e.playIOs(ios, 0, func() {
+			if e.locks != nil {
+				e.locks.ReleaseAll(txn)
+			}
+			resp := e.sim.Now() - t0
+			if e.cfg.Trace != nil && !e.metrics.inWarmup() {
+				fmt.Fprintf(e.cfg.Trace, "%d,%s,%d,%.6f\n", txn, req.Kind, req.Target, resp)
+			}
+			e.metrics.complete(req.Kind, resp)
+			done()
+		})
+	})
+}
+
+func (e *Engine) fail(err error) {
+	if e.metrics.err == nil {
+		e.metrics.err = err
+	}
+	e.stopped = true
+}
+
+// diskFor routes an I/O: data pages hash across the data disks, log writes
+// go to the dedicated log disk.
+func (e *Engine) diskFor(io core.PhysIO) *sim.Station {
+	if io.Log {
+		return e.logDisk
+	}
+	return e.disks[int(io.Page)%len(e.disks)]
+}
+
+// playIOs sends each physical I/O to its disk in order.
+func (e *Engine) playIOs(ios []core.PhysIO, idx int, done func()) {
+	if idx >= len(ios) {
+		done()
+		return
+	}
+	e.diskFor(ios[idx]).Request(e.cfg.DiskServiceTime, func() { e.playIOs(ios, idx+1, done) })
+}

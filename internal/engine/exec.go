@@ -1,0 +1,442 @@
+package engine
+
+import (
+	"fmt"
+
+	"oodb/internal/core"
+	"oodb/internal/model"
+	"oodb/internal/storage"
+	"oodb/internal/workload"
+)
+
+// execute runs transaction req against the functional layer, returning the
+// ordered physical I/O program and the logical operation count. All graph,
+// storage, buffer, cluster, and log mutations happen here, atomically at
+// submission time; only the timing is simulated afterwards. Prefetch I/Os
+// gathered during execution land in e.pendingBG: they are *background*
+// work — dispatched to the disks for queueing load but not serialized into
+// the transaction's response path, the asynchrony that makes
+// prefetch-within-database worth its extra I/Os (Section 5.2).
+func (e *Engine) execute(txn int, req workload.Txn) (ios []core.PhysIO, logical int, err error) {
+	switch req.Kind {
+	case workload.QSimpleLookup:
+		return e.readClosure(req.Target, nil)
+	case workload.QComponentRetrieval:
+		return e.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
+			return o.Components
+		})
+	case workload.QCompositeRetrieval:
+		return e.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
+			return o.Composites
+		})
+	case workload.QDescendantVersion:
+		return e.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
+			return o.Descendants
+		})
+	case workload.QAncestorVersion:
+		return e.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
+			return o.Neighbors(model.VersionAncestor)
+		})
+	case workload.QCorresponding:
+		return e.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
+			return o.Correspondents
+		})
+	case workload.QInsert:
+		return e.execInsert(txn, req)
+	case workload.QUpdate:
+		return e.execUpdate(txn, req)
+	case workload.QStructUpdate:
+		return e.execStructUpdate(txn, req)
+	case workload.QDerive:
+		return e.execDerive(txn, req)
+	case workload.QScan:
+		return e.execScan(req)
+	case workload.QCheckout:
+		return e.execCheckout(req)
+	case workload.QDelete:
+		return e.execDelete(txn, req)
+	}
+	return nil, 0, fmt.Errorf("engine: unknown query kind %v", req.Kind)
+}
+
+// readObject performs one logical read: buffer access for the object's page
+// (expanding to victim-flush + read on a miss) and, when boost is true, the
+// context-sensitive relationship boosts (scans do not assert structural
+// relevance). When prefetch is true — the touched object is the root of a
+// navigation, not one of its expansion targets — the prefetch policy runs
+// too, accumulating its I/Os as background work.
+func (e *Engine) readObject(id model.ObjectID, prefetch, boost bool) ([]core.PhysIO, error) {
+	o := e.graph.Object(id)
+	if o == nil {
+		// The object was deleted between transaction generation and
+		// execution (a lock wait can reorder them). A real DBMS returns
+		// not-found; the lookup still costs a logical operation but no I/O.
+		e.metrics.notFound++
+		return nil, nil
+	}
+	pg := e.store.PageOf(id)
+	if pg == storage.NilPage {
+		return nil, fmt.Errorf("engine: object %d is unplaced", id)
+	}
+	res, err := e.pool.Access(pg)
+	if err != nil {
+		return nil, err
+	}
+	ios := core.ExpandAccess(res, pg)
+
+	// The context-sensitive replacement policy uses structural knowledge on
+	// every access: pages related to the touched object gain priority.
+	if boost && e.cfg.Replacement == core.ReplContext {
+		limit := e.cfg.ContextBoostLimit
+		if limit == 0 {
+			limit = core.ContextNeighborLimit
+		}
+		for _, rp := range core.ContextBoostPagesN(e.graph, e.store, o, limit) {
+			e.pool.Boost(rp)
+		}
+	}
+	if prefetch {
+		pfIOs, err := e.pf.OnAccess(o)
+		if err != nil {
+			return nil, err
+		}
+		e.pendingBG = append(e.pendingBG, pfIOs...)
+	}
+	return ios, nil
+}
+
+// readClosure reads target and, if expand is non-nil, every object expand
+// returns — the shape of all six read query types. Prefetching fires on
+// the navigation root ("touching an object causes the page containing it
+// and the pages containing its immediate subcomponents to be brought in").
+func (e *Engine) readClosure(target model.ObjectID, expand func(*model.Object) []model.ObjectID) ([]core.PhysIO, int, error) {
+	ios, err := e.readObject(target, true, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	logical := 1
+	o := e.graph.Object(target)
+	if expand != nil && o != nil {
+		// Copy: prefetch/boost paths never mutate relationship slices, but
+		// being defensive here is cheap and keeps the invariant local.
+		targets := append([]model.ObjectID(nil), expand(o)...)
+		for _, c := range targets {
+			more, err := e.readObject(c, false, true)
+			if err != nil {
+				return nil, 0, err
+			}
+			ios = append(ios, more...)
+			logical++
+		}
+	}
+	return ios, logical, nil
+}
+
+// ensureDirty marks pg dirty, re-fetching it first if a later access of the
+// same transaction evicted it.
+func (e *Engine) ensureDirty(pg storage.PageID) ([]core.PhysIO, error) {
+	var ios []core.PhysIO
+	if !e.pool.Contains(pg) {
+		res, err := e.pool.Access(pg)
+		if err != nil {
+			return nil, err
+		}
+		ios = core.ExpandAccess(res, pg)
+	}
+	if err := e.pool.MarkDirty(pg); err != nil {
+		return ios, err
+	}
+	return ios, nil
+}
+
+// logAppend charges the log manager and converts its physical I/O count
+// into log-disk writes.
+func (e *Engine) logAppend(txn int, objSize int, pg storage.PageID) ([]core.PhysIO, error) {
+	n, err := e.log.Append(txn, objSize, pg)
+	if err != nil {
+		return nil, err
+	}
+	ios := make([]core.PhysIO, 0, n)
+	for i := 0; i < n; i++ {
+		ios = append(ios, core.LogWrite())
+	}
+	return ios, nil
+}
+
+// finishPlacement applies the bookkeeping every object-producing write
+// shares: dirty pages, log records (one per dirty page, sized by the
+// object; a split's extra page is the paper's "extra log record").
+func (e *Engine) finishPlacement(txn int, o *model.Object, pl core.Placement, ios []core.PhysIO) ([]core.PhysIO, error) {
+	ios = append(ios, pl.IOs...)
+	for _, pg := range pl.DirtyPages {
+		more, err := e.ensureDirty(pg)
+		if err != nil {
+			return nil, err
+		}
+		ios = append(ios, more...)
+		logIOs, err := e.logAppend(txn, o.Size, pg)
+		if err != nil {
+			return nil, err
+		}
+		ios = append(ios, logIOs...)
+	}
+	return ios, nil
+}
+
+func (e *Engine) execInsert(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+	parent := req.AttachTo
+	ios, err := e.readObject(parent, true, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	if e.graph.Object(parent) == nil {
+		return ios, 1, nil // composite deleted before the insert landed
+	}
+	e.nameSeq++
+	o, err := e.graph.NewObject(fmt.Sprintf("n%d", e.nameSeq), 1, req.NewType)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := e.graph.Attach(parent, o.ID); err != nil {
+		return nil, 0, err
+	}
+	pl, err := e.clust.PlaceNew(o)
+	if err != nil {
+		return nil, 0, err
+	}
+	ios, err = e.finishPlacement(txn, o, pl, ios)
+	if err != nil {
+		return nil, 0, err
+	}
+	// The composite's component list changed too.
+	more, err := e.ensureDirty(e.store.PageOf(parent))
+	if err != nil {
+		return nil, 0, err
+	}
+	ios = append(ios, more...)
+	logIOs, err := e.logAppend(txn, e.graph.Object(parent).Size, e.store.PageOf(parent))
+	if err != nil {
+		return nil, 0, err
+	}
+	ios = append(ios, logIOs...)
+	e.gen.NoteCreated(o.ID, o.Type)
+	return ios, 2, nil
+}
+
+func (e *Engine) execUpdate(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+	ios, err := e.readObject(req.Target, true, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	if e.graph.Object(req.Target) == nil {
+		return ios, 1, nil // deleted before the update landed
+	}
+	pg := e.store.PageOf(req.Target)
+	more, err := e.ensureDirty(pg)
+	if err != nil {
+		return nil, 0, err
+	}
+	ios = append(ios, more...)
+	logIOs, err := e.logAppend(txn, e.graph.Object(req.Target).Size, pg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return append(ios, logIOs...), 1, nil
+}
+
+// execStructUpdate re-links Target under AttachTo (or detaches it if the
+// link already exists) and runs the run-time reclustering algorithm on the
+// restructured object.
+func (e *Engine) execStructUpdate(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+	ios, err := e.readObject(req.Target, true, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	more, err := e.readObject(req.AttachTo, false, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	ios = append(ios, more...)
+
+	o := e.graph.Object(req.Target)
+	parent := e.graph.Object(req.AttachTo)
+	if o == nil || parent == nil {
+		return ios, 2, nil // an end was deleted before the relink landed
+	}
+	if req.Target == req.AttachTo {
+		// Degenerate draw; treat as a plain update.
+		return e.execUpdate(txn, req)
+	}
+	err = e.graph.Attach(parent.ID, o.ID)
+	if err == model.ErrDuplicateLink {
+		err = e.graph.Detach(parent.ID, o.ID)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Run-time reclustering: the structure of o changed.
+	pl, err := e.clust.Recluster(o)
+	if err != nil {
+		return nil, 0, err
+	}
+	ios = append(ios, pl.IOs...)
+	dirty := pl.DirtyPages
+	if len(dirty) == 0 {
+		dirty = []storage.PageID{e.store.PageOf(o.ID)}
+	}
+	for _, pg := range dirty {
+		m, err := e.ensureDirty(pg)
+		if err != nil {
+			return nil, 0, err
+		}
+		ios = append(ios, m...)
+		logIOs, err := e.logAppend(txn, o.Size, pg)
+		if err != nil {
+			return nil, 0, err
+		}
+		ios = append(ios, logIOs...)
+	}
+	// The composite's component list changed as well.
+	ppg := e.store.PageOf(parent.ID)
+	m, err := e.ensureDirty(ppg)
+	if err != nil {
+		return nil, 0, err
+	}
+	ios = append(ios, m...)
+	logIOs, err := e.logAppend(txn, parent.Size, ppg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return append(ios, logIOs...), 2, nil
+}
+
+// execScan performs a batch-tool sweep: every target is read without
+// prefetching and without asserting structural relevance to the buffer
+// manager.
+func (e *Engine) execScan(req workload.Txn) ([]core.PhysIO, int, error) {
+	var ios []core.PhysIO
+	for _, id := range req.Scan {
+		more, err := e.readObject(id, false, false)
+		if err != nil {
+			return nil, 0, err
+		}
+		ios = append(ios, more...)
+	}
+	return ios, len(req.Scan), nil
+}
+
+// execCheckout materializes the full two-level hierarchy under Target: the
+// root, every component, and every component's component — the expensive
+// "loading a large object hierarchy into memory" the paper's introduction
+// motivates. Prefetching fires per touched composite.
+func (e *Engine) execCheckout(req workload.Txn) ([]core.PhysIO, int, error) {
+	ios, err := e.readObject(req.Target, true, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	logical := 1
+	root := e.graph.Object(req.Target)
+	if root == nil {
+		return ios, logical, nil
+	}
+	blocks := append([]model.ObjectID(nil), root.Components...)
+	for _, b := range blocks {
+		more, err := e.readObject(b, true, true)
+		if err != nil {
+			return nil, 0, err
+		}
+		ios = append(ios, more...)
+		logical++
+		bo := e.graph.Object(b)
+		if bo == nil {
+			continue
+		}
+		leaves := append([]model.ObjectID(nil), bo.Components...)
+		for _, l := range leaves {
+			more, err := e.readObject(l, false, true)
+			if err != nil {
+				return nil, 0, err
+			}
+			ios = append(ios, more...)
+			logical++
+		}
+	}
+	return ios, logical, nil
+}
+
+// execDelete removes a leaf object: the page holding it is read, the
+// object comes off its page (the page is dirtied and the change logged),
+// and the graph unlinks it. Objects that still anchor structure cannot be
+// deleted; the transaction degrades to a plain update, the way a real tool
+// would fail the delete and fall back to marking the object obsolete.
+func (e *Engine) execDelete(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+	o := e.graph.Object(req.Target)
+	if o == nil {
+		// Deleted by an earlier transaction between generation and
+		// execution; nothing to do but account the lookup attempt.
+		return nil, 1, nil
+	}
+	if len(o.Components) > 0 || len(o.Descendants) > 0 {
+		return e.execUpdate(txn, req)
+	}
+	ios, err := e.readObject(req.Target, false, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	pg := e.store.PageOf(req.Target)
+	more, err := e.ensureDirty(pg)
+	if err != nil {
+		return nil, 0, err
+	}
+	ios = append(ios, more...)
+	logIOs, err := e.logAppend(txn, o.Size, pg)
+	if err != nil {
+		return nil, 0, err
+	}
+	ios = append(ios, logIOs...)
+	if err := e.store.Remove(req.Target); err != nil {
+		return nil, 0, err
+	}
+	if err := e.graph.DeleteObject(req.Target); err != nil {
+		return nil, 0, err
+	}
+	return ios, 1, nil
+}
+
+// execDerive checks in a new version of Target.
+func (e *Engine) execDerive(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+	ios, err := e.readObject(req.Target, true, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	if e.graph.Object(req.Target) == nil {
+		return ios, 1, nil // ancestor deleted before the checkin landed
+	}
+	o, err := e.graph.Derive(req.Target)
+	if err != nil {
+		return nil, 0, err
+	}
+	pl, err := e.clust.PlaceNew(o)
+	if err != nil {
+		return nil, 0, err
+	}
+	ios, err = e.finishPlacement(txn, o, pl, ios)
+	if err != nil {
+		return nil, 0, err
+	}
+	// The ancestor's descendant list changed.
+	apg := e.store.PageOf(req.Target)
+	more, err := e.ensureDirty(apg)
+	if err != nil {
+		return nil, 0, err
+	}
+	ios = append(ios, more...)
+	logIOs, err := e.logAppend(txn, e.graph.Object(req.Target).Size, apg)
+	if err != nil {
+		return nil, 0, err
+	}
+	ios = append(ios, logIOs...)
+	e.gen.NoteCreated(o.ID, o.Type)
+	return ios, 2, nil
+}

@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"testing"
+
+	"oodb/internal/core"
+	"oodb/internal/model"
+	"oodb/internal/workload"
+)
+
+// execFixture builds an engine without running the user loop, so execute
+// can be driven directly.
+func execFixture(t *testing.T) *Engine {
+	t.Helper()
+	cfg := DefaultConfig(0.01)
+	cfg.Transactions = 1
+	cfg.Cluster = core.PolicyNoLimit
+	cfg.Split = core.LinearSplit
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// exec runs one transaction through the functional layer with logging
+// bracketed, as startTxn would.
+func (e *Engine) exec(t *testing.T, req workload.Txn) ([]core.PhysIO, int) {
+	t.Helper()
+	txn := e.txnSeq
+	e.txnSeq++
+	if err := e.log.Begin(txn); err != nil {
+		t.Fatal(err)
+	}
+	ios, logical, err := e.execute(txn, req)
+	if err != nil {
+		t.Fatalf("execute(%v): %v", req.Kind, err)
+	}
+	if err := e.log.End(txn); err != nil {
+		t.Fatal(err)
+	}
+	return ios, logical
+}
+
+func countLog(ios []core.PhysIO) int {
+	n := 0
+	for _, io := range ios {
+		if io.Log {
+			n++
+		}
+	}
+	return n
+}
+
+func TestExecSimpleLookup(t *testing.T) {
+	e := execFixture(t)
+	target := e.db.Leaves[0]
+	_, logical := e.exec(t, workload.Txn{Kind: workload.QSimpleLookup, Target: target})
+	if logical != 1 {
+		t.Fatalf("logical=%d", logical)
+	}
+	if !e.pool.Contains(e.store.PageOf(target)) {
+		t.Fatal("target page not resident after read")
+	}
+}
+
+func TestExecComponentRetrievalLogicalCount(t *testing.T) {
+	e := execFixture(t)
+	root := e.graph.Object(e.db.Roots[0])
+	_, logical := e.exec(t, workload.Txn{Kind: workload.QComponentRetrieval, Target: root.ID})
+	if logical != 1+len(root.Components) {
+		t.Fatalf("logical=%d, want 1+%d components", logical, len(root.Components))
+	}
+}
+
+func TestExecCheckoutReadsWholeHierarchy(t *testing.T) {
+	e := execFixture(t)
+	root := e.graph.Object(e.db.Roots[0])
+	want := 1
+	for _, b := range root.Components {
+		want += 1 + len(e.graph.Object(b).Components)
+	}
+	_, logical := e.exec(t, workload.Txn{Kind: workload.QCheckout, Target: root.ID})
+	if logical != want {
+		t.Fatalf("logical=%d, want hierarchy size %d", logical, want)
+	}
+}
+
+func TestExecUpdateDirtiesAndLogs(t *testing.T) {
+	e := execFixture(t)
+	target := e.db.Leaves[0]
+	ios, logical := e.exec(t, workload.Txn{Kind: workload.QUpdate, Target: target})
+	if logical != 1 {
+		t.Fatalf("logical=%d", logical)
+	}
+	if !e.pool.IsDirty(e.store.PageOf(target)) {
+		t.Fatal("updated page not dirty")
+	}
+	if countLog(ios) == 0 {
+		t.Fatal("update produced no log I/O (first touch needs a before image)")
+	}
+}
+
+func TestExecInsertCreatesAndAttaches(t *testing.T) {
+	e := execFixture(t)
+	parent := e.db.Blocks[0]
+	before := e.graph.NumObjects()
+	po := e.graph.Object(parent)
+	nComps := len(po.Components)
+	leafT := e.db.Schema.LeafTypes[0]
+	e.exec(t, workload.Txn{Kind: workload.QInsert, AttachTo: parent, NewType: leafT})
+	if e.graph.NumObjects() != before+1 {
+		t.Fatal("no object created")
+	}
+	if len(po.Components) != nComps+1 {
+		t.Fatal("not attached to parent")
+	}
+	created := model.ObjectID(before + 1)
+	if e.store.PageOf(created) == 0 {
+		t.Fatal("created object unplaced")
+	}
+	if err := e.store.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecDeriveCreatesVersion(t *testing.T) {
+	e := execFixture(t)
+	root := e.db.Roots[0]
+	ro := e.graph.Object(root)
+	nDesc := len(ro.Descendants)
+	e.exec(t, workload.Txn{Kind: workload.QDerive, Target: root})
+	if len(ro.Descendants) != nDesc+1 {
+		t.Fatal("no descendant recorded")
+	}
+	d := e.graph.Object(ro.Descendants[len(ro.Descendants)-1])
+	if d.Ancestor != root || d.Version != ro.Version+1 {
+		t.Fatalf("derived: %+v", d)
+	}
+	if e.store.PageOf(d.ID) == 0 {
+		t.Fatal("derived version unplaced")
+	}
+}
+
+func TestExecStructUpdateTogglesLink(t *testing.T) {
+	e := execFixture(t)
+	leaf := e.db.Leaves[0]
+	newParent := e.db.Blocks[1]
+	lo := e.graph.Object(leaf)
+	hadLink := false
+	for _, c := range lo.Composites {
+		if c == newParent {
+			hadLink = true
+		}
+	}
+	e.exec(t, workload.Txn{Kind: workload.QStructUpdate, Target: leaf, AttachTo: newParent})
+	hasLink := false
+	for _, c := range lo.Composites {
+		if c == newParent {
+			hasLink = true
+		}
+	}
+	if hasLink == hadLink {
+		t.Fatal("struct update did not toggle the link")
+	}
+	// Toggling back restores the original shape.
+	e.exec(t, workload.Txn{Kind: workload.QStructUpdate, Target: leaf, AttachTo: newParent})
+	hasLink = false
+	for _, c := range lo.Composites {
+		if c == newParent {
+			hasLink = true
+		}
+	}
+	if hasLink != hadLink {
+		t.Fatal("second toggle did not restore")
+	}
+	if err := e.store.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecScanReadsAllTargets(t *testing.T) {
+	e := execFixture(t)
+	scan := e.db.Leaves[:5]
+	_, logical := e.exec(t, workload.Txn{Kind: workload.QScan, Target: scan[0], Scan: scan})
+	if logical != 5 {
+		t.Fatalf("logical=%d", logical)
+	}
+}
+
+func TestExecUnknownKind(t *testing.T) {
+	e := execFixture(t)
+	if err := e.log.Begin(99); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.execute(99, workload.Txn{Kind: workload.NumQueryKinds}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestExecDelete(t *testing.T) {
+	e := execFixture(t)
+	// Find an eligible leaf (no components, no descendants).
+	var target model.ObjectID
+	for _, id := range e.db.Leaves {
+		o := e.graph.Object(id)
+		if o != nil && len(o.Components) == 0 && len(o.Descendants) == 0 {
+			target = id
+			break
+		}
+	}
+	if target == model.NilObject {
+		t.Fatal("no eligible leaf")
+	}
+	before := e.graph.NumObjects()
+	ios, logical := e.exec(t, workload.Txn{Kind: workload.QDelete, Target: target})
+	if logical != 1 {
+		t.Fatalf("logical=%d", logical)
+	}
+	if countLog(ios) == 0 {
+		t.Fatal("delete must log")
+	}
+	if e.graph.Object(target) != nil {
+		t.Fatal("object survived delete")
+	}
+	if e.graph.NumObjects() != before-1 {
+		t.Fatalf("NumObjects=%d", e.graph.NumObjects())
+	}
+	if e.store.PageOf(target) != 0 {
+		t.Fatal("storage still places deleted object")
+	}
+	if err := e.store.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Reading the deleted object later degrades gracefully.
+	_, logical = e.exec(t, workload.Txn{Kind: workload.QSimpleLookup, Target: target})
+	if logical != 1 {
+		t.Fatal("stale read not counted")
+	}
+	// Deleting a composite degrades to an update.
+	root := e.db.Roots[0]
+	e.exec(t, workload.Txn{Kind: workload.QDelete, Target: root})
+	if e.graph.Object(root) == nil {
+		t.Fatal("composite was deleted")
+	}
+}

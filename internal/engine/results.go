@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"fmt"
+
+	"oodb/internal/buffer"
+	"oodb/internal/core"
+	"oodb/internal/lock"
+	"oodb/internal/stats"
+	"oodb/internal/txlog"
+	"oodb/internal/workload"
+)
+
+// Metrics collects per-run measurements while the simulation executes.
+type Metrics struct {
+	respAll   stats.Tally
+	respRead  stats.Tally
+	respWrite stats.Tally
+
+	logicalOps   int
+	physReads    int
+	physWrites   int
+	logWrites    int
+	bgReads      int // background prefetch I/Os
+	perKindCount [workload.NumQueryKinds]int
+	perKindResp  [workload.NumQueryKinds]stats.Tally
+
+	// warmup is the number of leading transactions whose measurements are
+	// discarded; skipped counts how many have been discarded so far.
+	warmup  int
+	skipped int
+
+	// notFound counts logical reads of objects deleted between transaction
+	// generation and execution.
+	notFound int
+
+	err error
+}
+
+// inWarmup reports whether measurements are still being discarded.
+func (m *Metrics) inWarmup() bool { return m.skipped < m.warmup }
+
+func (m *Metrics) noteBackground(ios []core.PhysIO) {
+	if m.inWarmup() {
+		return
+	}
+	m.bgReads += len(ios)
+}
+
+func (m *Metrics) note(kind workload.QueryKind, logical int, ios []core.PhysIO) {
+	if m.inWarmup() {
+		return
+	}
+	m.logicalOps += logical
+	m.perKindCount[kind]++
+	for _, io := range ios {
+		switch {
+		case io.Log:
+			m.logWrites++
+		case io.Kind == core.ReadIO:
+			m.physReads++
+		default:
+			m.physWrites++
+		}
+	}
+}
+
+func (m *Metrics) complete(kind workload.QueryKind, resp float64) {
+	if m.inWarmup() {
+		m.skipped++
+		return
+	}
+	m.respAll.Add(resp)
+	m.perKindResp[kind].Add(resp)
+	if kind.IsWrite() {
+		m.respWrite.Add(resp)
+	} else {
+		m.respRead.Add(resp)
+	}
+}
+
+// Results summarizes one simulation run.
+type Results struct {
+	Config Config
+
+	// Response-time statistics in seconds.
+	MeanResponse  float64
+	P95Response   float64
+	ReadResponse  float64
+	WriteResponse float64
+	Completed     int
+	ReadTxns      int
+	WriteTxns     int
+
+	// I/O accounting.
+	LogicalOps    int
+	PhysReads     int
+	PhysWrites    int
+	LogIOs        int // physical log-disk writes charged to transactions
+	BackgroundIOs int // asynchronous prefetch I/Os
+	NotFoundReads int // logical reads that found the object deleted
+	HitRatio      float64
+
+	// Simulated duration and throughput.
+	SimTime    float64
+	Throughput float64
+
+	// Component statistics.
+	Pool    buffer.Stats
+	Cluster core.ClusterStats
+	Log     txlog.Stats
+
+	// Utilizations.
+	CPUUtil      float64
+	MeanDiskUtil float64
+	LogDiskUtil  float64
+
+	// AdaptiveSwitches counts run-time clustering-policy changes when the
+	// adaptive extension is enabled.
+	AdaptiveSwitches int
+
+	// KindResponse maps query-kind name to its mean response time, for
+	// per-operation analysis (checkout vs simple lookup vs insert ...).
+	KindResponse map[string]float64
+	// KindCount maps query-kind name to its measured transaction count.
+	KindCount map[string]int
+
+	// Locks reports concurrency-control activity (zero value when locking
+	// is disabled).
+	Locks lock.Stats
+}
+
+func (e *Engine) results() Results {
+	m := &e.metrics
+	r := Results{
+		Config:        e.cfg,
+		MeanResponse:  m.respAll.Mean(),
+		P95Response:   m.respAll.Percentile(95),
+		ReadResponse:  m.respRead.Mean(),
+		WriteResponse: m.respWrite.Mean(),
+		Completed:     m.respAll.N(),
+		ReadTxns:      m.respRead.N(),
+		WriteTxns:     m.respWrite.N(),
+		LogicalOps:    m.logicalOps,
+		PhysReads:     m.physReads,
+		PhysWrites:    m.physWrites,
+		LogIOs:        m.logWrites,
+		BackgroundIOs: m.bgReads,
+		NotFoundReads: m.notFound,
+		HitRatio:      e.pool.Stats().HitRatio(),
+		SimTime:       e.sim.Now(),
+		Pool:          e.pool.Stats(),
+		Cluster:       e.clust.Stats(),
+		Log:           e.log.Stats(),
+		CPUUtil:       e.cpu.Utilization(),
+		LogDiskUtil:   e.logDisk.Utilization(),
+	}
+	if r.SimTime > 0 {
+		r.Throughput = float64(r.Completed) / r.SimTime
+	}
+	du := 0.0
+	for _, d := range e.disks {
+		du += d.Utilization()
+	}
+	if len(e.disks) > 0 {
+		r.MeanDiskUtil = du / float64(len(e.disks))
+	}
+	if e.adapt != nil {
+		r.AdaptiveSwitches = e.adapt.Switches
+	}
+	if e.locks != nil {
+		r.Locks = e.locks.Stats()
+	}
+	r.KindResponse = make(map[string]float64)
+	r.KindCount = make(map[string]int)
+	for k := workload.QueryKind(0); k < workload.NumQueryKinds; k++ {
+		if n := m.perKindResp[k].N(); n > 0 {
+			r.KindResponse[k.String()] = m.perKindResp[k].Mean()
+			r.KindCount[k.String()] = n
+		}
+	}
+	return r
+}
+
+// String renders a one-line summary.
+func (r Results) String() string {
+	return fmt.Sprintf("%s: resp=%.4fs (r=%.4f w=%.4f) hit=%.3f phys(r/w/log)=%d/%d/%d txns=%d",
+		r.Config.Label(), r.MeanResponse, r.ReadResponse, r.WriteResponse,
+		r.HitRatio, r.PhysReads, r.PhysWrites, r.LogIOs, r.Completed)
+}

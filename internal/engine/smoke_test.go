@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"testing"
+
+	"oodb/internal/core"
+	"oodb/internal/workload"
+)
+
+// TestSmokeRun drives a small configuration end to end and sanity-checks
+// the results.
+func TestSmokeRun(t *testing.T) {
+	cfg := DefaultConfig(0.01) // ~5 MB, 10 buffers
+	cfg.Transactions = 500
+	cfg.Density = workload.MedDensity
+	cfg.ReadWriteRatio = 10
+	cfg.Cluster = core.PolicyNoLimit
+	cfg.Split = core.LinearSplit
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no transactions completed")
+	}
+	if res.MeanResponse <= 0 {
+		t.Fatalf("mean response %v", res.MeanResponse)
+	}
+	if err := e.store.CheckInvariants(); err != nil {
+		t.Fatalf("storage invariants: %v", err)
+	}
+	t.Logf("%v", res)
+	t.Logf("db: objects=%d pages=%d", e.graph.NumObjects(), e.store.NumPages())
+}

@@ -1,0 +1,268 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation: Figures 3.2–3.4 (OCT access patterns), Figure 5.1–5.14 and
+// Table 5.1 (clustering and buffering simulation results), and Figures
+// 6.1–6.2 (two-level factorial effect analysis), plus the extension
+// experiments the paper defers to [CHAN89].
+//
+// Each runner returns a Table whose rows and series match what the paper
+// reports; renderers produce aligned text output. Simulation runs are
+// memoized per harness so overlapping figures (e.g. Figure 5.1 and Figures
+// 5.2–5.4) do not repeat work.
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"oodb/internal/engine"
+)
+
+// Options controls experiment scale. The defaults trade fidelity for
+// wall-clock time; -scale 1.0 runs the paper's full 500 MB configuration.
+type Options struct {
+	// Scale multiplies the paper's database size and buffer-pool frames
+	// together (see engine.DefaultConfig).
+	Scale float64
+	// Transactions per simulation run.
+	Transactions int
+	// Seed drives all randomness.
+	Seed int64
+	// Replications runs each configuration at this many consecutive seeds
+	// and averages the measurements — standard simulation methodology for
+	// smoothing a single run's noise. Default 1.
+	Replications int
+	// Verbose, when non-nil, receives progress lines.
+	Verbose func(string)
+}
+
+// DefaultOptions returns the quick-run options used by the benchmarks.
+func DefaultOptions() Options {
+	return Options{Scale: 0.02, Transactions: 1500, Seed: 1}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 0.02
+	}
+	if o.Transactions <= 0 {
+		o.Transactions = 1500
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Replications <= 0 {
+		o.Replications = 1
+	}
+	return o
+}
+
+// Harness runs simulations with memoization.
+type Harness struct {
+	opt   Options
+	cache map[string]engine.Results
+}
+
+// NewHarness returns a harness for the given options.
+func NewHarness(opt Options) *Harness {
+	return &Harness{opt: opt.withDefaults(), cache: make(map[string]engine.Results)}
+}
+
+// Options returns the harness options (with defaults applied).
+func (h *Harness) Options() Options { return h.opt }
+
+// baseConfig is the scaled Table 4.1 default configuration.
+func (h *Harness) baseConfig() engine.Config {
+	cfg := engine.DefaultConfig(h.opt.Scale)
+	cfg.Transactions = h.opt.Transactions
+	cfg.Seed = h.opt.Seed
+	return cfg
+}
+
+func key(cfg engine.Config) string {
+	return fmt.Sprintf("%v|%d|%d|%d|%v|%v|%d|%v", cfg.Label(), cfg.Transactions, cfg.Seed,
+		cfg.DBBytes, cfg.PhasedRW, cfg.AdaptiveClustering,
+		cfg.ContextBoostLimit, cfg.NoSiblingCandidates)
+}
+
+// Run simulates cfg (memoized), averaging over the configured number of
+// replications (consecutive seeds).
+func (h *Harness) Run(cfg engine.Config) (engine.Results, error) {
+	k := key(cfg)
+	if r, ok := h.cache[k]; ok {
+		return r, nil
+	}
+	if h.opt.Verbose != nil {
+		h.opt.Verbose("run " + cfg.Label())
+	}
+	reps := make([]engine.Results, 0, h.opt.Replications)
+	for i := 0; i < h.opt.Replications; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		e, err := engine.New(c)
+		if err != nil {
+			return engine.Results{}, err
+		}
+		r, err := e.Run()
+		if err != nil {
+			return engine.Results{}, err
+		}
+		reps = append(reps, r)
+	}
+	r := averageResults(reps)
+	h.cache[k] = r
+	return r, nil
+}
+
+// averageResults averages the measurement fields the experiment runners
+// consume across replications. Configuration and count fields come from the
+// first replication; counts that feed per-transaction normalizations are
+// averaged too.
+func averageResults(rs []engine.Results) engine.Results {
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	out := rs[0]
+	n := float64(len(rs))
+	var resp, p95, read, write, hit float64
+	var completed, logIOs, beforeImg, bufFlush, physR, physW float64
+	var gCut, oCut float64
+	var splitsCmp float64
+	for _, r := range rs {
+		resp += r.MeanResponse
+		p95 += r.P95Response
+		read += r.ReadResponse
+		write += r.WriteResponse
+		hit += r.HitRatio
+		completed += float64(r.Completed)
+		logIOs += float64(r.LogIOs)
+		beforeImg += float64(r.Log.BeforeImageIOs)
+		bufFlush += float64(r.Log.BufferFlushes)
+		physR += float64(r.PhysReads)
+		physW += float64(r.PhysWrites)
+		gCut += r.Cluster.GreedyCutTotal
+		oCut += r.Cluster.OptimalCutTotal
+		splitsCmp += float64(r.Cluster.SplitsCompared)
+	}
+	out.MeanResponse = resp / n
+	out.P95Response = p95 / n
+	out.ReadResponse = read / n
+	out.WriteResponse = write / n
+	out.HitRatio = hit / n
+	out.Completed = int(completed / n)
+	out.LogIOs = int(logIOs / n)
+	out.Log.BeforeImageIOs = int(beforeImg / n)
+	out.Log.BufferFlushes = int(bufFlush / n)
+	out.PhysReads = int(physR / n)
+	out.PhysWrites = int(physW / n)
+	out.Cluster.GreedyCutTotal = gCut / n
+	out.Cluster.OptimalCutTotal = oCut / n
+	out.Cluster.SplitsCompared = int(splitsCmp / n)
+	return out
+}
+
+// Table is a rendered experiment result: one row per x-axis point, one
+// column per series, matching the paper's figure structure.
+type Table struct {
+	ID      string // e.g. "fig5.1"
+	Title   string
+	XLabel  string
+	Unit    string // cell unit, e.g. "s" or "I/Os"
+	Columns []string
+	Rows    []Row
+
+	// Notes carries the observations the paper attaches to the figure.
+	Notes []string
+}
+
+// Row is one x-axis point.
+type Row struct {
+	Label string
+	Cells []float64
+}
+
+// Cell returns the value at (rowLabel, column), or an error.
+func (t *Table) Cell(rowLabel, column string) (float64, error) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == column {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, fmt.Errorf("experiment: table %s has no column %q", t.ID, column)
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel {
+			if ci >= len(r.Cells) {
+				return 0, fmt.Errorf("experiment: table %s row %q short", t.ID, rowLabel)
+			}
+			return r.Cells[ci], nil
+		}
+	}
+	return 0, fmt.Errorf("experiment: table %s has no row %q", t.ID, rowLabel)
+}
+
+// Render produces an aligned text table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s -- %s\n", strings.ToUpper(t.ID[:1])+t.ID[1:], t.Title)
+	if t.Unit != "" {
+		fmt.Fprintf(&b, "(cells in %s)\n", t.Unit)
+	}
+	w := 12
+	for _, c := range t.Columns {
+		if len(c) > w {
+			w = len(c)
+		}
+	}
+	fmt.Fprintf(&b, "%-14s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %*s", w, c)
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s", r.Label)
+		for _, v := range r.Cells {
+			fmt.Fprintf(&b, " %*.4f", w, v)
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// JSON renders the table as indented JSON for downstream tooling.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// Runner produces one experiment table.
+type Runner func(h *Harness) (*Table, error)
+
+// registry maps experiment IDs to runners; populated by init functions in
+// the figure files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	var out []string
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the runner for an experiment ID ("fig5.1", "table5.1",
+// "fig6.2", "ext.buffersize", ...).
+func Lookup(id string) (Runner, bool) {
+	r, ok := registry[id]
+	return r, ok
+}

@@ -1,0 +1,320 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"oodb/internal/engine"
+)
+
+// tinyOptions keeps unit-test runs fast.
+func tinyOptions() Options {
+	return Options{Scale: 0.01, Transactions: 400, Seed: 1}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3.2", "fig3.3", "fig3.4",
+		"fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5", "fig5.6", "fig5.7",
+		"fig5.8", "fig5.9", "fig5.10", "fig5.11", "fig5.12", "fig5.13", "fig5.14",
+		"table5.1", "fig6.1", "fig6.2",
+		"ext.buffersize", "ext.hints",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if _, ok := Lookup("fig5.1"); !ok {
+		t.Error("Lookup failed for registered id")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup succeeded for bogus id")
+	}
+}
+
+func TestHarnessMemoizes(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	cfg := h.baseConfig()
+	a, err := h.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanResponse != b.MeanResponse {
+		t.Fatal("memoized run differs")
+	}
+	if len(h.cache) != 1 {
+		t.Fatalf("cache size %d", len(h.cache))
+	}
+}
+
+func TestTableCellAndRender(t *testing.T) {
+	tb := &Table{
+		ID: "figX", Title: "T", XLabel: "x", Unit: "s",
+		Columns: []string{"a", "b"},
+		Rows:    []Row{{Label: "r1", Cells: []float64{1, 2}}},
+		Notes:   []string{"n"},
+	}
+	v, err := tb.Cell("r1", "b")
+	if err != nil || v != 2 {
+		t.Fatalf("cell: %v %v", v, err)
+	}
+	if _, err := tb.Cell("r1", "zz"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	if _, err := tb.Cell("zz", "a"); err == nil {
+		t.Fatal("missing row accepted")
+	}
+	out := tb.Render()
+	for _, want := range []string{"FigX", "r1", "note: n", "a", "b"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSection3Experiments(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	for _, id := range []string{"fig3.2", "fig3.3", "fig3.4"} {
+		r, _ := Lookup(id)
+		tb, err := r(h)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) != 10 {
+			t.Fatalf("%s: %d rows, want 10 tools", id, len(tb.Rows))
+		}
+	}
+	// Figure 3.2's headline: vem tops the ratio chart near 6000.
+	r, _ := Lookup("fig3.2")
+	tb, err := r(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vem, err := tb.Cell("vem", "R/W ratio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vem < 4000 {
+		t.Fatalf("vem ratio %.0f", vem)
+	}
+	// Figure 3.4 rows are distributions summing to ~1.
+	r, _ = Lookup("fig3.4")
+	tb, err = r(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		sum := row.Cells[0] + row.Cells[1] + row.Cells[2]
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("%s shares sum to %v", row.Label, sum)
+		}
+	}
+}
+
+func TestFig52Structure(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	r, _ := Lookup("fig5.2")
+	tb, err := r(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 || len(tb.Columns) != 5 {
+		t.Fatalf("fig5.2 shape: %dx%d", len(tb.Rows), len(tb.Columns))
+	}
+	for _, row := range tb.Rows {
+		for i, v := range row.Cells {
+			if v <= 0 {
+				t.Fatalf("%s[%s] = %v", row.Label, tb.Columns[i], v)
+			}
+		}
+	}
+}
+
+func TestFig55LoggingDirection(t *testing.T) {
+	h := NewHarness(Options{Scale: 0.02, Transactions: 1200, Seed: 1})
+	tb, err := Fig55(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At high density, clustering must not log more than no-clustering.
+	n, err := tb.Cell("high-10", "No_Cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tb.Cell("high-10", "No_limit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > n*1.05 {
+		t.Fatalf("clustered logging I/Os %.1f exceed unclustered %.1f", c, n)
+	}
+}
+
+func TestCrossing(t *testing.T) {
+	x := []float64{1, 2, 4, 8}
+	// Crosses between 2 and 4.
+	if be := crossing(x, []float64{-2, -1, 1, 3}); be <= 2 || be >= 4 {
+		t.Fatalf("break-even %v", be)
+	}
+	// Always positive: break-even at or below the first probe.
+	if be := crossing(x, []float64{1, 2, 3, 4}); be != 1 {
+		t.Fatalf("break-even %v", be)
+	}
+	// Never crosses: clamped to the last probe.
+	if be := crossing(x, []float64{-1, -2, -3, -4}); be != 8 {
+		t.Fatalf("break-even %v", be)
+	}
+	if crossing(nil, nil) != 0 {
+		t.Fatal("empty crossing")
+	}
+}
+
+func TestImprovementHelper(t *testing.T) {
+	tb := &Table{
+		ID:      "fig5.1",
+		Columns: []string{"No_Cluster", "No_limit"},
+		Rows:    []Row{{Label: "hi10-100", Cells: []float64{0.2, 0.1}}},
+	}
+	v, err := improvement(tb, "hi10-100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 100 {
+		t.Fatalf("improvement %v%%, want 100%%", v)
+	}
+}
+
+func TestFactorialConfigMapping(t *testing.T) {
+	h := NewHarness(tinyOptions())
+	lo := h.factorialConfig(0)
+	hi := h.factorialConfig(0xFF)
+	if lo.Density != 0 || hi.Density == lo.Density {
+		t.Fatal("density levels wrong")
+	}
+	if lo.ReadWriteRatio != 5 || hi.ReadWriteRatio != 100 {
+		t.Fatal("rw levels wrong")
+	}
+	if lo.Cluster.Mode != 0 || hi.Cluster != lo.Cluster && hi.Cluster.String() != "No_limit" {
+		t.Fatal("cluster levels wrong")
+	}
+	if lo.Buffers >= hi.Buffers {
+		t.Fatal("buffer levels wrong")
+	}
+	d := factorialDesign()
+	if len(d.Factors) != 8 || d.Runs() != 256 {
+		t.Fatalf("design: %d factors", len(d.Factors))
+	}
+	for _, f := range d.Factors {
+		if shortName(f.Name) == f.Name {
+			t.Errorf("no short name for %q", f.Name)
+		}
+	}
+}
+
+// TestFullFigureSweep runs every registered experiment at tiny scale.
+// Skipped in -short; the factorial figures alone are 256 simulations.
+func TestFullFigureSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep is slow")
+	}
+	h := NewHarness(Options{Scale: 0.005, Transactions: 200, Seed: 1})
+	for _, id := range IDs() {
+		r, _ := Lookup(id)
+		tb, err := r(h)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 || len(tb.Columns) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+		for _, row := range tb.Rows {
+			if len(row.Cells) != len(tb.Columns) {
+				t.Fatalf("%s: ragged row %q", id, row.Label)
+			}
+		}
+		if tb.Render() == "" {
+			t.Fatalf("%s: empty render", id)
+		}
+	}
+}
+
+func TestExtensionExperimentStructures(t *testing.T) {
+	h := NewHarness(Options{Scale: 0.008, Transactions: 300, Seed: 1})
+	cases := map[string]struct{ rows, cols int }{
+		"ext.adaptive":         {3, 3},
+		"ext.ablation.sibling": {2, 3},
+		"ext.ablation.boost":   {4, 2},
+		"ext.buffersize":       {3, 2},
+	}
+	for id, want := range cases {
+		r, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		tb, err := r(h)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) != want.rows || len(tb.Columns) != want.cols {
+			t.Fatalf("%s: %dx%d, want %dx%d", id, len(tb.Rows), len(tb.Columns), want.rows, want.cols)
+		}
+		for _, row := range tb.Rows {
+			for _, v := range row.Cells {
+				if v < 0 {
+					t.Fatalf("%s: negative cell in %s", id, row.Label)
+				}
+			}
+		}
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := &Table{ID: "figX", Columns: []string{"a"}, Rows: []Row{{Label: "r", Cells: []float64{1}}}}
+	out, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ID": "figX"`, `"Label": "r"`} {
+		if !contains(string(out), want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+func TestReplicationsAveraged(t *testing.T) {
+	one := NewHarness(Options{Scale: 0.008, Transactions: 200, Seed: 1})
+	three := NewHarness(Options{Scale: 0.008, Transactions: 200, Seed: 1, Replications: 3})
+	cfg := one.baseConfig()
+	r1, err := one.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg3 := three.baseConfig()
+	r3, err := three.Run(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.MeanResponse <= 0 {
+		t.Fatal("averaged response not positive")
+	}
+	// Seeds 2 and 3 differ from seed 1, so the average almost surely moves.
+	if r3.MeanResponse == r1.MeanResponse {
+		t.Fatal("replication average identical to single run")
+	}
+	// averageResults of a single element is the element.
+	if got := averageResults([]engine.Results{r1}); got.MeanResponse != r1.MeanResponse {
+		t.Fatal("single-element average changed the result")
+	}
+}

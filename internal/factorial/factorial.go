@@ -1,0 +1,186 @@
+// Package factorial implements the two-level factorial effect analysis the
+// paper uses in Section 6: every control parameter is assigned a low and a
+// high operating level, the response is measured for all 2^k level
+// combinations, and Yates' algorithm turns the responses into main and
+// interaction effects. Figure 6.1 ranks the absolute effects; Figure 6.2
+// classifies pairwise interactions as none / minor / major from the
+// two-factor interaction magnitudes.
+package factorial
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Factor is one two-level factor in the design.
+type Factor struct {
+	// Name is the control-parameter name ("Structure density", ...).
+	Name string
+	// Low and High describe the two operating levels.
+	Low, High string
+}
+
+// Design is a 2^k full factorial design.
+type Design struct {
+	Factors []Factor
+}
+
+// Runs returns the number of level combinations (2^k).
+func (d *Design) Runs() int { return 1 << len(d.Factors) }
+
+// Effect is one term of the effect decomposition: Mask's set bits name the
+// participating factors (a single bit is a main effect; two bits a pairwise
+// interaction; ...). Value is the average response change when the term's
+// factors move from their low to their high levels together.
+type Effect struct {
+	Mask  uint
+	Value float64
+}
+
+// Order returns the number of factors in the term.
+func (e Effect) Order() int { return bits.OnesCount(e.Mask) }
+
+// TermName renders the factor combination, e.g. "Structure density ×
+// Buffering policy".
+func (d *Design) TermName(mask uint) string {
+	if mask == 0 {
+		return "mean"
+	}
+	var parts []string
+	for i, f := range d.Factors {
+		if mask&(1<<uint(i)) != 0 {
+			parts = append(parts, f.Name)
+		}
+	}
+	return strings.Join(parts, " x ")
+}
+
+// Effects runs Yates' algorithm over the responses. y must have length 2^k
+// and be indexed by the level bitmask (bit i set = factor i at its high
+// level). The returned slice is indexed by the same mask: index 0 holds the
+// grand mean, single-bit indices the main effects, and multi-bit indices
+// the interactions.
+func Effects(d *Design, y []float64) ([]Effect, error) {
+	n := d.Runs()
+	if len(y) != n {
+		return nil, fmt.Errorf("factorial: need %d responses, got %d", n, len(y))
+	}
+	w := make([]float64, n)
+	copy(w, y)
+	// In-place fast Walsh–Hadamard style transform: for each factor, combine
+	// pairs (low, high) into (sum, difference).
+	for bit := 1; bit < n; bit <<= 1 {
+		next := make([]float64, n)
+		for m := 0; m < n; m++ {
+			if m&bit == 0 {
+				next[m] = w[m] + w[m|bit]
+			} else {
+				next[m] = w[m] - w[m&^bit]
+			}
+		}
+		w = next
+	}
+	out := make([]Effect, n)
+	for m := 0; m < n; m++ {
+		v := w[m]
+		if m == 0 {
+			v /= float64(n)
+		} else {
+			v /= float64(n / 2)
+		}
+		out[m] = Effect{Mask: uint(m), Value: v}
+	}
+	return out, nil
+}
+
+// Ranked returns the effects ordered by descending absolute value,
+// excluding the grand mean. maxOrder limits interaction order (0 = all).
+func Ranked(effects []Effect, maxOrder int) []Effect {
+	var out []Effect
+	for _, e := range effects {
+		if e.Mask == 0 {
+			continue
+		}
+		if maxOrder > 0 && e.Order() > maxOrder {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return math.Abs(out[i].Value) > math.Abs(out[j].Value)
+	})
+	return out
+}
+
+// InteractionClass is the paper's three-way classification of a pairwise
+// interaction plot: parallel lines (none), non-parallel but non-crossing
+// (minor), crossing (major).
+type InteractionClass uint8
+
+const (
+	// NoInteraction: the effect of one factor is the same at both levels of
+	// the other.
+	NoInteraction InteractionClass = iota
+	// MinorInteraction: the effect differs but keeps its sign.
+	MinorInteraction
+	// MajorInteraction: the effect reverses sign (the lines cross).
+	MajorInteraction
+)
+
+// String names the class.
+func (c InteractionClass) String() string {
+	switch c {
+	case NoInteraction:
+		return "none"
+	case MinorInteraction:
+		return "minor"
+	case MajorInteraction:
+		return "major"
+	}
+	return fmt.Sprintf("InteractionClass(%d)", uint8(c))
+}
+
+// Interaction describes factor pair (I, J).
+type Interaction struct {
+	I, J  int
+	Class InteractionClass
+	// EffectAtLowJ and EffectAtHighJ are factor I's effect at each level of
+	// factor J: the two line slopes of the paper's X-Y interaction diagram.
+	EffectAtLowJ, EffectAtHighJ float64
+}
+
+// ClassifyInteractions derives the pairwise interaction classes from the
+// responses. negligible is the absolute effect threshold below which a
+// difference counts as parallel lines; a fraction of the largest main
+// effect (e.g. 5%) works well.
+func ClassifyInteractions(d *Design, y []float64, negligible float64) ([]Interaction, error) {
+	effects, err := Effects(d, y)
+	if err != nil {
+		return nil, err
+	}
+	k := len(d.Factors)
+	var out []Interaction
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			main := effects[1<<uint(i)].Value
+			inter := effects[(1<<uint(i))|(1<<uint(j))].Value
+			// Effect of factor i at low/high level of j.
+			lo := main - inter
+			hi := main + inter
+			cls := NoInteraction
+			switch {
+			case math.Abs(inter) <= negligible:
+				cls = NoInteraction
+			case lo*hi < 0:
+				cls = MajorInteraction
+			default:
+				cls = MinorInteraction
+			}
+			out = append(out, Interaction{I: i, J: j, Class: cls, EffectAtLowJ: lo, EffectAtHighJ: hi})
+		}
+	}
+	return out, nil
+}

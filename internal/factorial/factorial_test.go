@@ -1,0 +1,189 @@
+package factorial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func design(k int) *Design {
+	d := &Design{}
+	for i := 0; i < k; i++ {
+		d.Factors = append(d.Factors, Factor{Name: string(rune('A' + i)), Low: "lo", High: "hi"})
+	}
+	return d
+}
+
+func TestEffectsAdditiveModel(t *testing.T) {
+	// y = 10 + 3*A + 5*B (A,B in {-1,+1}): main effects 6 and 10, no
+	// interaction.
+	d := design(2)
+	y := make([]float64, 4)
+	for m := 0; m < 4; m++ {
+		a, b := -1.0, -1.0
+		if m&1 != 0 {
+			a = 1
+		}
+		if m&2 != 0 {
+			b = 1
+		}
+		y[m] = 10 + 3*a + 5*b
+	}
+	eff, err := Effects(d, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff[0].Value != 10 {
+		t.Fatalf("mean=%v", eff[0].Value)
+	}
+	if eff[1].Value != 6 || eff[2].Value != 10 {
+		t.Fatalf("main effects: %v %v", eff[1].Value, eff[2].Value)
+	}
+	if eff[3].Value != 0 {
+		t.Fatalf("interaction: %v", eff[3].Value)
+	}
+}
+
+func TestEffectsPureInteraction(t *testing.T) {
+	// y = A*B: no main effects, interaction effect 2.
+	d := design(2)
+	y := []float64{1, -1, -1, 1}
+	eff, err := Effects(d, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff[1].Value != 0 || eff[2].Value != 0 {
+		t.Fatalf("main effects: %v %v", eff[1].Value, eff[2].Value)
+	}
+	if eff[3].Value != 2 {
+		t.Fatalf("interaction: %v", eff[3].Value)
+	}
+}
+
+func TestEffectsWrongLength(t *testing.T) {
+	d := design(3)
+	if _, err := Effects(d, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+// Property: Effects recovers the coefficients of a random linear model with
+// pairwise interactions, for k up to 6.
+func TestEffectsRecoverCoefficients(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(5)
+		d := design(k)
+		n := d.Runs()
+		coef := make([]float64, n) // coefficient per term mask
+		for m := 0; m < n; m++ {
+			if m == 0 || bitsCount(m) <= 2 {
+				coef[m] = math.Round(rng.Float64()*20 - 10)
+			}
+		}
+		y := make([]float64, n)
+		for run := 0; run < n; run++ {
+			v := 0.0
+			for m := 0; m < n; m++ {
+				if coef[m] == 0 {
+					continue
+				}
+				sign := 1.0
+				for b := 0; b < k; b++ {
+					if m&(1<<b) != 0 && run&(1<<b) == 0 {
+						sign = -sign
+					}
+				}
+				v += coef[m] * sign
+			}
+			y[run] = v
+		}
+		eff, err := Effects(d, y)
+		if err != nil {
+			return false
+		}
+		for m := 1; m < n; m++ {
+			want := 2 * coef[m] // effect = 2*coefficient for +/-1 coding
+			if math.Abs(eff[m].Value-want) > 1e-6 {
+				return false
+			}
+		}
+		return math.Abs(eff[0].Value-coef[0]) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bitsCount(m int) int {
+	c := 0
+	for m != 0 {
+		c += m & 1
+		m >>= 1
+	}
+	return c
+}
+
+func TestRanked(t *testing.T) {
+	d := design(2)
+	y := []float64{0, 1, 10, 11} // B dominates
+	eff, _ := Effects(d, y)
+	r := Ranked(eff, 0)
+	if d.TermName(r[0].Mask) != "B" {
+		t.Fatalf("top effect %q", d.TermName(r[0].Mask))
+	}
+	// maxOrder filters interactions.
+	r1 := Ranked(eff, 1)
+	for _, e := range r1 {
+		if e.Order() > 1 {
+			t.Fatal("order filter ignored")
+		}
+	}
+}
+
+func TestTermName(t *testing.T) {
+	d := design(3)
+	if d.TermName(0) != "mean" {
+		t.Fatal("mean name")
+	}
+	if d.TermName(0b101) != "A x C" {
+		t.Fatalf("name=%q", d.TermName(0b101))
+	}
+}
+
+func TestClassifyInteractions(t *testing.T) {
+	d := design(2)
+	// Parallel lines: y = A + B.
+	y := []float64{0, 2, 3, 5}
+	inters, err := ClassifyInteractions(d, y, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inters) != 1 || inters[0].Class != NoInteraction {
+		t.Fatalf("parallel: %+v", inters)
+	}
+	// Crossing lines: y = A*B -> major.
+	y = []float64{1, -1, -1, 1}
+	inters, _ = ClassifyInteractions(d, y, 0.1)
+	if inters[0].Class != MajorInteraction {
+		t.Fatalf("crossing: %+v", inters)
+	}
+	// Non-parallel, non-crossing: A effect 2 at low B, 4 at high B -> minor.
+	// y(-,-)=0 y(+,-)=2 y(-,+)=10 y(+,+)=14.
+	y = []float64{0, 2, 10, 14}
+	inters, _ = ClassifyInteractions(d, y, 0.1)
+	if inters[0].Class != MinorInteraction {
+		t.Fatalf("minor: %+v", inters)
+	}
+	if inters[0].EffectAtLowJ != 2 || inters[0].EffectAtHighJ != 4 {
+		t.Fatalf("line slopes: %+v", inters[0])
+	}
+}
+
+func TestInteractionClassString(t *testing.T) {
+	if NoInteraction.String() != "none" || MinorInteraction.String() != "minor" ||
+		MajorInteraction.String() != "major" {
+		t.Fatal("class names wrong")
+	}
+}

@@ -1,0 +1,258 @@
+// Package lock implements the object-granularity concurrency control the
+// paper's simulation model assumes: "The fundamental unit of recovery and
+// concurrency control is the object and composite object", and each OCT
+// procedure call carries "lock request behavior" (Section 4.1).
+//
+// The manager grants shared and exclusive locks per object with
+// first-come-first-served queueing (shared requests batch). Callers avoid
+// deadlock by requesting each transaction's whole lock set in a global
+// order (the engine sorts by object ID); the manager itself only promises
+// FIFO fairness, not deadlock detection.
+package lock
+
+import (
+	"fmt"
+
+	"oodb/internal/model"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// Shared is a read lock; compatible with other shared locks.
+	Shared Mode = iota
+	// Exclusive is a write lock; compatible with nothing.
+	Exclusive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// Stats aggregates lock activity.
+type Stats struct {
+	Requests   int
+	Granted    int // immediately granted
+	Conflicts  int // requests that had to wait
+	Releases   int
+	MaxWaiters int // longest queue observed on one object
+}
+
+type waiter struct {
+	txn   int
+	mode  Mode
+	grant func()
+}
+
+type entry struct {
+	// holders maps transaction -> held mode. Multiple holders only with
+	// Shared; a single holder may hold Exclusive.
+	holders map[int]Mode
+	queue   []waiter
+}
+
+// Manager is the lock manager.
+type Manager struct {
+	table map[model.ObjectID]*entry
+	// held tracks each transaction's locked objects for O(1) release.
+	held  map[int][]model.ObjectID
+	stats Stats
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		table: make(map[model.ObjectID]*entry),
+		held:  make(map[int][]model.ObjectID),
+	}
+}
+
+// Stats returns a copy of the statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the statistics.
+func (m *Manager) ResetStats() { m.stats = Stats{} }
+
+// compatible reports whether txn may take mode on e right now.
+func compatible(e *entry, txn int, mode Mode) bool {
+	if len(e.holders) == 0 {
+		return true
+	}
+	if held, ok := e.holders[txn]; ok {
+		// Re-entrant: same or weaker mode is free; upgrades allowed only
+		// when the transaction is the sole holder.
+		if mode <= held {
+			return true
+		}
+		return len(e.holders) == 1
+	}
+	if mode == Shared {
+		// Compatible if every holder is shared AND no exclusive waiter is
+		// queued ahead (prevents writer starvation).
+		for _, hm := range e.holders {
+			if hm == Exclusive {
+				return false
+			}
+		}
+		for _, w := range e.queue {
+			if w.mode == Exclusive {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Acquire requests mode on obj for txn. If the lock is free the request is
+// granted synchronously and Acquire returns true; otherwise the request is
+// queued and grant runs when the lock is eventually granted (grant must not
+// be nil in that case). Acquire never calls grant synchronously.
+func (m *Manager) Acquire(txn int, obj model.ObjectID, mode Mode, grant func()) (granted bool, err error) {
+	if obj == model.NilObject {
+		return false, fmt.Errorf("lock: acquire on nil object")
+	}
+	m.stats.Requests++
+	e := m.table[obj]
+	if e == nil {
+		e = &entry{holders: make(map[int]Mode, 2)}
+		m.table[obj] = e
+	}
+	if compatible(e, txn, mode) {
+		m.grantTo(e, txn, obj, mode)
+		m.stats.Granted++
+		return true, nil
+	}
+	if grant == nil {
+		return false, fmt.Errorf("lock: conflicting request without grant callback")
+	}
+	m.stats.Conflicts++
+	e.queue = append(e.queue, waiter{txn: txn, mode: mode, grant: grant})
+	if len(e.queue) > m.stats.MaxWaiters {
+		m.stats.MaxWaiters = len(e.queue)
+	}
+	return false, nil
+}
+
+func (m *Manager) grantTo(e *entry, txn int, obj model.ObjectID, mode Mode) {
+	prev, already := e.holders[txn]
+	if !already || mode > prev {
+		e.holders[txn] = mode
+	}
+	if !already {
+		m.held[txn] = append(m.held[txn], obj)
+	}
+}
+
+// ReleaseAll drops every lock txn holds and grants eligible waiters in FIFO
+// order (a released exclusive lock may admit a batch of shared waiters).
+// Grant callbacks run synchronously, after all bookkeeping for that object
+// is updated.
+func (m *Manager) ReleaseAll(txn int) {
+	objs := m.held[txn]
+	delete(m.held, txn)
+	for _, obj := range objs {
+		e := m.table[obj]
+		if e == nil {
+			continue
+		}
+		if _, ok := e.holders[txn]; !ok {
+			continue
+		}
+		delete(e.holders, txn)
+		m.stats.Releases++
+		m.admit(e, obj)
+		if len(e.holders) == 0 && len(e.queue) == 0 {
+			delete(m.table, obj)
+		}
+	}
+}
+
+// admit grants queued waiters that have become compatible.
+func (m *Manager) admit(e *entry, obj model.ObjectID) {
+	var grants []func()
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		if !m.queueCompatible(e, w) {
+			break
+		}
+		e.queue = e.queue[1:]
+		m.grantTo(e, w.txn, obj, w.mode)
+		m.stats.Granted++
+		grants = append(grants, w.grant)
+	}
+	for _, g := range grants {
+		if g != nil {
+			g()
+		}
+	}
+}
+
+// queueCompatible is compatible() without the exclusive-waiter starvation
+// guard (the head of the queue IS the next waiter).
+func (m *Manager) queueCompatible(e *entry, w waiter) bool {
+	if len(e.holders) == 0 {
+		return true
+	}
+	if held, ok := e.holders[w.txn]; ok {
+		return w.mode <= held || len(e.holders) == 1
+	}
+	if w.mode == Shared {
+		for _, hm := range e.holders {
+			if hm == Exclusive {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Holds reports whether txn currently holds a lock on obj (any mode).
+func (m *Manager) Holds(txn int, obj model.ObjectID) bool {
+	e := m.table[obj]
+	if e == nil {
+		return false
+	}
+	_, ok := e.holders[txn]
+	return ok
+}
+
+// Locked returns the number of objects with at least one holder or waiter.
+func (m *Manager) Locked() int { return len(m.table) }
+
+// CheckInvariants validates internal consistency: no object has both an
+// exclusive holder and another holder, and held/table agree.
+func (m *Manager) CheckInvariants() error {
+	for obj, e := range m.table {
+		exclusives := 0
+		for _, mode := range e.holders {
+			if mode == Exclusive {
+				exclusives++
+			}
+		}
+		if exclusives > 0 && len(e.holders) > 1 {
+			return fmt.Errorf("lock: object %d has an exclusive holder plus others", obj)
+		}
+		if len(e.holders) == 0 && len(e.queue) > 0 {
+			return fmt.Errorf("lock: object %d has waiters but no holders", obj)
+		}
+	}
+	for txn, objs := range m.held {
+		for _, obj := range objs {
+			e := m.table[obj]
+			if e == nil {
+				return fmt.Errorf("lock: txn %d claims unlocked object %d", txn, obj)
+			}
+			if _, ok := e.holders[txn]; !ok {
+				return fmt.Errorf("lock: txn %d claims object %d it does not hold", txn, obj)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package lock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oodb/internal/model"
+)
+
+func TestSharedCompatible(t *testing.T) {
+	m := NewManager()
+	g1, err := m.Acquire(1, 10, Shared, nil)
+	if err != nil || !g1 {
+		t.Fatalf("first shared: %v %v", g1, err)
+	}
+	g2, err := m.Acquire(2, 10, Shared, nil)
+	if err != nil || !g2 {
+		t.Fatalf("second shared: %v %v", g2, err)
+	}
+	if !m.Holds(1, 10) || !m.Holds(2, 10) {
+		t.Fatal("holders not recorded")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExclusiveConflicts(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 10, Exclusive, nil) //nolint:errcheck
+	granted := false
+	g, err := m.Acquire(2, 10, Exclusive, func() { granted = true })
+	if err != nil || g {
+		t.Fatalf("conflicting exclusive granted: %v %v", g, err)
+	}
+	if granted {
+		t.Fatal("grant callback ran synchronously")
+	}
+	m.ReleaseAll(1)
+	if !granted {
+		t.Fatal("waiter not granted on release")
+	}
+	if !m.Holds(2, 10) || m.Holds(1, 10) {
+		t.Fatal("ownership not transferred")
+	}
+	st := m.Stats()
+	if st.Conflicts != 1 || st.Granted != 2 || st.Requests != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSharedBlockedByExclusive(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 10, Exclusive, nil) //nolint:errcheck
+	calls := 0
+	m.Acquire(2, 10, Shared, func() { calls++ }) //nolint:errcheck
+	m.Acquire(3, 10, Shared, func() { calls++ }) //nolint:errcheck
+	if calls != 0 {
+		t.Fatal("shared granted under exclusive")
+	}
+	m.ReleaseAll(1)
+	// Both shared waiters batch in.
+	if calls != 2 {
+		t.Fatalf("granted %d of 2 shared waiters", calls)
+	}
+}
+
+func TestWriterNotStarved(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 10, Shared, nil) //nolint:errcheck
+	xGranted := false
+	m.Acquire(2, 10, Exclusive, func() { xGranted = true }) //nolint:errcheck
+	// A later shared request must queue behind the exclusive waiter even
+	// though it is compatible with the current holder.
+	sGranted := false
+	g, _ := m.Acquire(3, 10, Shared, func() { sGranted = true })
+	if g {
+		t.Fatal("shared jumped the exclusive waiter")
+	}
+	m.ReleaseAll(1)
+	if !xGranted || sGranted {
+		t.Fatalf("exclusive should be granted first: x=%v s=%v", xGranted, sGranted)
+	}
+	m.ReleaseAll(2)
+	if !sGranted {
+		t.Fatal("shared waiter never granted")
+	}
+}
+
+func TestReentrantAndUpgrade(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, 10, Shared, nil) //nolint:errcheck
+	// Re-entrant shared is free.
+	g, err := m.Acquire(1, 10, Shared, nil)
+	if err != nil || !g {
+		t.Fatal("re-entrant shared refused")
+	}
+	// Sole holder may upgrade.
+	g, err = m.Acquire(1, 10, Exclusive, nil)
+	if err != nil || !g {
+		t.Fatal("sole-holder upgrade refused")
+	}
+	// With two holders, upgrade must wait.
+	m2 := NewManager()
+	m2.Acquire(1, 10, Shared, nil) //nolint:errcheck
+	m2.Acquire(2, 10, Shared, nil) //nolint:errcheck
+	up := false
+	g, _ = m2.Acquire(1, 10, Exclusive, func() { up = true })
+	if g {
+		t.Fatal("upgrade granted despite second holder")
+	}
+	m2.ReleaseAll(2)
+	if !up {
+		t.Fatal("upgrade not granted after other holder left")
+	}
+}
+
+func TestAcquireErrors(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Acquire(1, model.NilObject, Shared, nil); err == nil {
+		t.Fatal("nil object accepted")
+	}
+	m.Acquire(1, 10, Exclusive, nil) //nolint:errcheck
+	if _, err := m.Acquire(2, 10, Exclusive, nil); err == nil {
+		t.Fatal("conflicting request without callback accepted")
+	}
+}
+
+func TestReleaseAllCleansTable(t *testing.T) {
+	m := NewManager()
+	for obj := model.ObjectID(1); obj <= 5; obj++ {
+		m.Acquire(7, obj, Exclusive, nil) //nolint:errcheck
+	}
+	if m.Locked() != 5 {
+		t.Fatalf("locked=%d", m.Locked())
+	}
+	m.ReleaseAll(7)
+	if m.Locked() != 0 {
+		t.Fatalf("table not cleaned: %d", m.Locked())
+	}
+	// Releasing a transaction with no locks is a no-op.
+	m.ReleaseAll(99)
+}
+
+func TestModeString(t *testing.T) {
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Fatal("mode names")
+	}
+}
+
+// Property: under random acquire/release traffic with the sorted-order
+// protocol, (a) invariants always hold, (b) every queued request is
+// eventually granted once all holders release, (c) no exclusive lock ever
+// coexists with another holder.
+func TestRandomTrafficInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewManager()
+		type txnState struct {
+			id      int
+			pending int // locks not yet granted
+			active  bool
+		}
+		txns := map[int]*txnState{}
+		next := 1
+		grantedTotal := 0
+		for step := 0; step < 400; step++ {
+			if rng.Intn(2) == 0 || len(txns) == 0 {
+				// Start a transaction: request 1-3 locks in sorted order.
+				ts := &txnState{id: next, active: true}
+				next++
+				txns[ts.id] = ts
+				n := 1 + rng.Intn(3)
+				objs := map[model.ObjectID]Mode{}
+				for i := 0; i < n; i++ {
+					objs[model.ObjectID(1+rng.Intn(6))] = Mode(rng.Intn(2))
+				}
+				var order []model.ObjectID
+				for o := range objs {
+					order = append(order, o)
+				}
+				for i := 0; i < len(order); i++ {
+					for j := i + 1; j < len(order); j++ {
+						if order[j] < order[i] {
+							order[i], order[j] = order[j], order[i]
+						}
+					}
+				}
+				for _, o := range order {
+					ts.pending++
+					g, err := m.Acquire(ts.id, o, objs[o], func() {
+						ts.pending--
+						grantedTotal++
+					})
+					if err != nil {
+						return false
+					}
+					if g {
+						ts.pending--
+						grantedTotal++
+					} else {
+						break // must wait before requesting the next lock
+					}
+				}
+			} else {
+				// Finish a random fully-granted transaction.
+				for id, ts := range txns {
+					if ts.pending == 0 {
+						m.ReleaseAll(id)
+						delete(txns, id)
+						break
+					}
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		// Drain: releasing every granted transaction must eventually grant
+		// and release everything (no deadlock under the sorted protocol).
+		for guard := 0; guard < 10000 && len(txns) > 0; guard++ {
+			progressed := false
+			for id, ts := range txns {
+				if ts.pending == 0 {
+					m.ReleaseAll(id)
+					delete(txns, id)
+					progressed = true
+					break
+				}
+			}
+			if !progressed {
+				return false // stuck: would be a deadlock
+			}
+		}
+		return len(txns) == 0 && m.Locked() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,431 @@
+package model
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustType(t *testing.T, g *Graph, name string, super TypeID, size int, freq FreqProfile, attrs []AttrDef) TypeID {
+	t.Helper()
+	id, err := g.DefineType(name, super, size, freq, attrs)
+	if err != nil {
+		t.Fatalf("DefineType(%s): %v", name, err)
+	}
+	return id
+}
+
+func mustObject(t *testing.T, g *Graph, name string, v int, ty TypeID) *Object {
+	t.Helper()
+	o, err := g.NewObject(name, v, ty)
+	if err != nil {
+		t.Fatalf("NewObject(%s): %v", name, err)
+	}
+	return o
+}
+
+func TestRelKindString(t *testing.T) {
+	want := map[RelKind]string{
+		ConfigDown: "config-down", ConfigUp: "config-up",
+		VersionAncestor: "version-ancestor", VersionDescendant: "version-descendant",
+		Correspondence: "correspondence", InheritanceRef: "inheritance-ref",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("%d: %q", k, k.String())
+		}
+	}
+	if RelKind(200).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestFreqProfileDominant(t *testing.T) {
+	var f FreqProfile
+	if f.Dominant() != ConfigDown {
+		t.Error("all-zero profile should tie-break to the first kind")
+	}
+	f[Correspondence] = 0.5
+	f[ConfigUp] = 0.3
+	if f.Dominant() != Correspondence {
+		t.Errorf("dominant=%v", f.Dominant())
+	}
+	if f.Total() != 0.8 {
+		t.Errorf("total=%v", f.Total())
+	}
+}
+
+func TestDefineTypeAndLattice(t *testing.T) {
+	g := NewGraph()
+	base := mustType(t, g, "design", NilType, 10, FreqProfile{}, []AttrDef{{Name: "a", Size: 8, AccessFreq: 0.5}})
+	leaf := mustType(t, g, "layout", base, 20, FreqProfile{}, []AttrDef{{Name: "b", Size: 4, AccessFreq: 0.1}})
+	if g.NumTypes() != 2 {
+		t.Fatalf("NumTypes=%d", g.NumTypes())
+	}
+	if !g.IsSubtype(leaf, base) || !g.IsSubtype(leaf, leaf) {
+		t.Error("subtype relation broken")
+	}
+	if g.IsSubtype(base, leaf) {
+		t.Error("supertype is not a subtype")
+	}
+	attrs := g.InheritedAttrs(leaf)
+	if len(attrs) != 2 || attrs[0].Name != "b" || attrs[1].Name != "a" {
+		t.Fatalf("inherited attrs: %+v", attrs)
+	}
+	if _, err := g.DefineType("bad", TypeID(99), 1, FreqProfile{}, nil); !errors.Is(err, ErrNoSuchType) {
+		t.Errorf("bad supertype: %v", err)
+	}
+}
+
+func TestNewObjectSizeIncludesAttrs(t *testing.T) {
+	g := NewGraph()
+	base := mustType(t, g, "design", NilType, 0, FreqProfile{}, []AttrDef{{Name: "a", Size: 100, AccessFreq: 0.5}})
+	ty := mustType(t, g, "layout", base, 50, FreqProfile{}, []AttrDef{{Name: "b", Size: 30, AccessFreq: 0.5}})
+	o := mustObject(t, g, "X", 1, ty)
+	if o.Size != 180 {
+		t.Fatalf("size=%d, want base+attrs=180", o.Size)
+	}
+	if len(o.AttrImpls) != 2 {
+		t.Fatalf("attr impls: %v", o.AttrImpls)
+	}
+	for _, im := range o.AttrImpls {
+		if im != ByCopy {
+			t.Fatal("attributes must default to by-copy")
+		}
+	}
+	if _, err := g.NewObject("Y", 1, TypeID(42)); !errors.Is(err, ErrNoSuchType) {
+		t.Errorf("unknown type: %v", err)
+	}
+}
+
+func TestAttachDetach(t *testing.T) {
+	g := NewGraph()
+	ty := mustType(t, g, "t", NilType, 10, FreqProfile{}, nil)
+	a := mustObject(t, g, "A", 1, ty)
+	b := mustObject(t, g, "B", 1, ty)
+	if err := g.Attach(a.ID, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Components) != 1 || a.Components[0] != b.ID {
+		t.Fatal("component link missing")
+	}
+	if len(b.Composites) != 1 || b.Composites[0] != a.ID {
+		t.Fatal("composite backlink missing")
+	}
+	if err := g.Attach(a.ID, b.ID); !errors.Is(err, ErrDuplicateLink) {
+		t.Errorf("duplicate attach: %v", err)
+	}
+	if err := g.Attach(a.ID, a.ID); !errors.Is(err, ErrSelfRelation) {
+		t.Errorf("self attach: %v", err)
+	}
+	if err := g.Detach(a.ID, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Components) != 0 || len(b.Composites) != 0 {
+		t.Fatal("detach left links behind")
+	}
+	if err := g.Detach(a.ID, b.ID); err == nil {
+		t.Error("detaching a non-link should fail")
+	}
+}
+
+func TestCorrespondSymmetric(t *testing.T) {
+	g := NewGraph()
+	ty := mustType(t, g, "t", NilType, 10, FreqProfile{}, nil)
+	a := mustObject(t, g, "A", 1, ty)
+	b := mustObject(t, g, "B", 1, ty)
+	if err := g.Correspond(a.ID, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Correspondents) != 1 || len(b.Correspondents) != 1 {
+		t.Fatal("correspondence must be symmetric")
+	}
+	if err := g.Correspond(b.ID, a.ID); !errors.Is(err, ErrDuplicateLink) {
+		t.Errorf("duplicate correspond: %v", err)
+	}
+}
+
+func TestDeriveInheritsCorrespondences(t *testing.T) {
+	g := NewGraph()
+	lay := mustType(t, g, "layout", NilType, 10, FreqProfile{}, nil)
+	net := mustType(t, g, "netlist", NilType, 10, FreqProfile{}, nil)
+	a := mustObject(t, g, "ALU", 2, lay)
+	n := mustObject(t, g, "ALU", 3, net)
+	if err := g.Correspond(a.ID, n.ID); err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.Derive(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version != 3 || d.Name != "ALU" || d.Type != lay {
+		t.Fatalf("derived identity wrong: %+v", d)
+	}
+	if d.Ancestor != a.ID {
+		t.Fatal("ancestor link missing")
+	}
+	if len(a.Descendants) != 1 || a.Descendants[0] != d.ID {
+		t.Fatal("descendant link missing")
+	}
+	if d.InheritsFrom != a.ID {
+		t.Fatal("instance-to-instance inheritance source missing")
+	}
+	// The paper's example: the new descendant inherits the correspondence.
+	if len(d.Correspondents) != 1 || d.Correspondents[0] != n.ID {
+		t.Fatalf("correspondence not inherited: %v", d.Correspondents)
+	}
+	if g.Triple(d.ID) != "ALU[3].layout" {
+		t.Fatalf("triple=%q", g.Triple(d.ID))
+	}
+}
+
+func TestSetAttrImpl(t *testing.T) {
+	g := NewGraph()
+	ty := mustType(t, g, "t", NilType, 100, FreqProfile{}, []AttrDef{
+		{Name: "big", Size: 400, AccessFreq: 0.05},
+	})
+	a := mustObject(t, g, "A", 1, ty)
+	d, err := g.Derive(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size0 := d.Size
+	if err := g.SetAttrImpl(d.ID, 0, ByReference); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size != size0-400 {
+		t.Fatalf("by-reference should shrink object: %d -> %d", size0, d.Size)
+	}
+	if d.Freq[InheritanceRef] != 0.05 {
+		t.Fatalf("inheritance-ref freq not augmented: %v", d.Freq[InheritanceRef])
+	}
+	// Switching back restores.
+	if err := g.SetAttrImpl(d.ID, 0, ByCopy); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size != size0 || d.Freq[InheritanceRef] != 0 {
+		t.Fatalf("restore failed: size=%d freq=%v", d.Size, d.Freq[InheritanceRef])
+	}
+	// Idempotent.
+	if err := g.SetAttrImpl(d.ID, 0, ByCopy); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size != size0 {
+		t.Fatal("idempotent switch changed size")
+	}
+	if err := g.SetAttrImpl(d.ID, 5, ByCopy); err == nil {
+		t.Error("out-of-range attribute index must fail")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := NewGraph()
+	ty := mustType(t, g, "t", NilType, 10, FreqProfile{}, nil)
+	a := mustObject(t, g, "A", 1, ty)
+	b := mustObject(t, g, "B", 1, ty)
+	c := mustObject(t, g, "C", 1, ty)
+	if err := g.Attach(a.ID, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Correspond(a.ID, c.ID); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := g.Derive(a.ID)
+	cases := map[RelKind][]ObjectID{
+		ConfigDown:        {b.ID},
+		ConfigUp:          nil,
+		VersionAncestor:   nil,
+		VersionDescendant: {d.ID},
+		Correspondence:    {c.ID},
+		InheritanceRef:    nil,
+	}
+	for kind, want := range cases {
+		got := a.Neighbors(kind)
+		if len(got) != len(want) {
+			t.Errorf("%v: got %v want %v", kind, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%v: got %v want %v", kind, got, want)
+			}
+		}
+	}
+	if n := d.Neighbors(VersionAncestor); len(n) != 1 || n[0] != a.ID {
+		t.Errorf("derived ancestor neighbors: %v", n)
+	}
+	if n := d.Neighbors(InheritanceRef); len(n) != 1 || n[0] != a.ID {
+		t.Errorf("inheritance neighbors: %v", n)
+	}
+}
+
+func TestStructureChangeHook(t *testing.T) {
+	g := NewGraph()
+	ty := mustType(t, g, "t", NilType, 10, FreqProfile{}, nil)
+	a := mustObject(t, g, "A", 1, ty)
+	b := mustObject(t, g, "B", 1, ty)
+	var changed []ObjectID
+	g.OnStructureChange(func(id ObjectID) { changed = append(changed, id) })
+	if err := g.Attach(a.ID, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 2 {
+		t.Fatalf("attach should notify both ends: %v", changed)
+	}
+}
+
+// Property: version chains produced by arbitrary derive sequences are
+// acyclic and version numbers strictly increase along the chain.
+func TestVersionChainsAcyclic(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		ty, _ := g.DefineType("t", NilType, 10, FreqProfile{}, nil)
+		root, _ := g.NewObject("R", 1, ty)
+		pool := []ObjectID{root.ID}
+		for i := 0; i < int(steps%64); i++ {
+			src := pool[rng.Intn(len(pool))]
+			d, err := g.Derive(src)
+			if err != nil {
+				return false
+			}
+			pool = append(pool, d.ID)
+		}
+		for _, id := range pool {
+			if !g.VersionChainAcyclic(id) {
+				return false
+			}
+			o := g.Object(id)
+			if o.Ancestor != NilObject && g.Object(o.Ancestor).Version >= o.Version {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTripleAndLookupEdgeCases(t *testing.T) {
+	g := NewGraph()
+	if g.Object(NilObject) != nil || g.Object(999) != nil {
+		t.Error("invalid object lookups must return nil")
+	}
+	if g.Type(NilType) != nil || g.Type(999) != nil {
+		t.Error("invalid type lookups must return nil")
+	}
+	if g.Triple(12) != "<nil>" {
+		t.Errorf("triple of missing object: %q", g.Triple(12))
+	}
+}
+
+func TestForEachObjectOrder(t *testing.T) {
+	g := NewGraph()
+	ty := mustType(t, g, "t", NilType, 10, FreqProfile{}, nil)
+	for i := 0; i < 5; i++ {
+		mustObject(t, g, "X", i, ty)
+	}
+	var ids []ObjectID
+	g.ForEachObject(func(o *Object) { ids = append(ids, o.ID) })
+	if len(ids) != 5 {
+		t.Fatalf("visited %d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatal("ForEachObject must visit in ID order")
+		}
+	}
+}
+
+func TestDeleteObject(t *testing.T) {
+	g := NewGraph()
+	ty := mustType(t, g, "t", NilType, 10, FreqProfile{}, nil)
+	root := mustObject(t, g, "R", 1, ty)
+	leaf := mustObject(t, g, "L", 1, ty)
+	other := mustObject(t, g, "O", 1, ty)
+	if err := g.Attach(root.ID, leaf.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Correspond(leaf.ID, other.ID); err != nil {
+		t.Fatal(err)
+	}
+	// A composite cannot be deleted.
+	if err := g.DeleteObject(root.ID); !errors.Is(err, ErrInUse) {
+		t.Fatalf("composite delete: %v", err)
+	}
+	// A versioned ancestor cannot be deleted.
+	d, _ := g.Derive(other.ID)
+	if err := g.DeleteObject(other.ID); !errors.Is(err, ErrInUse) {
+		t.Fatalf("ancestor delete: %v", err)
+	}
+	// The leaf can: every inbound link is unlinked.
+	n := g.NumObjects()
+	if err := g.DeleteObject(leaf.ID); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumObjects() != n-1 {
+		t.Fatalf("NumObjects=%d", g.NumObjects())
+	}
+	if g.Object(leaf.ID) != nil {
+		t.Fatal("deleted object still visible")
+	}
+	if len(root.Components) != 0 {
+		t.Fatal("composite still references deleted component")
+	}
+	// The leaf corresponded to `other` and (via derive-inheritance) to `d`;
+	// deleting it unlinks both sides.
+	if len(other.Correspondents) != 0 || len(d.Correspondents) != 0 {
+		t.Fatalf("correspondence not unlinked: %v / %v",
+			other.Correspondents, d.Correspondents)
+	}
+	// Deleting a derived version unlinks the ancestor's descendant list.
+	if err := g.DeleteObject(d.ID); err != nil {
+		t.Fatal(err)
+	}
+	if len(other.Descendants) != 0 {
+		t.Fatal("ancestor still lists deleted descendant")
+	}
+	// Now the ancestor is deletable.
+	if err := g.DeleteObject(other.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DeleteObject(other.ID); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("double delete: %v", err)
+	}
+	// Iteration skips tombstones.
+	count := 0
+	g.ForEachObject(func(*Object) { count++ })
+	if count != g.NumObjects() {
+		t.Fatalf("iteration saw %d, NumObjects %d", count, g.NumObjects())
+	}
+}
+
+func TestRestoreObject(t *testing.T) {
+	g := NewGraph()
+	ty := mustType(t, g, "t", NilType, 10, FreqProfile{}, nil)
+	if _, err := g.RestoreObject(3, "A", 1, ty); err != nil {
+		t.Fatal(err)
+	}
+	if g.Object(1) != nil || g.Object(2) != nil {
+		t.Fatal("gap IDs should be tombstones")
+	}
+	if g.Object(3) == nil || g.NumObjects() != 1 {
+		t.Fatalf("restored object missing: n=%d", g.NumObjects())
+	}
+	if _, err := g.RestoreObject(3, "B", 1, ty); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if _, err := g.RestoreObject(NilObject, "B", 1, ty); err == nil {
+		t.Fatal("nil ID accepted")
+	}
+	if _, err := g.RestoreObject(9, "B", 1, TypeID(55)); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	// Normal creation continues after the restored range.
+	o := mustObject(t, g, "C", 1, ty)
+	if o.ID != 4 {
+		t.Fatalf("next ID %d", o.ID)
+	}
+}

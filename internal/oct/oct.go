@@ -1,0 +1,147 @@
+// Package oct is a from-scratch re-creation of the substrate the paper's
+// Section 3 measured: the Berkeley OCT data manager for VLSI/CAD tools — a
+// store of primitive typed objects (facets, instances, nets, terminals,
+// paths, ...) connected by arbitrary bidirectional attachments — plus the
+// instrumentation layer the authors added to record tool access patterns.
+//
+// The real study instrumented ~5000 invocations of real CAD tools over ~400
+// hours. Those traces are not available, so package toolset provides ten
+// synthetic tool drivers calibrated to reproduce the published summary
+// statistics (per-tool read/write ratios, I/O rates, and fan-out density
+// distributions) — which is everything the downstream simulation model
+// consumes from Section 3.
+package oct
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ObjType enumerates OCT's primitive object types (the subset the paper's
+// examples use).
+type ObjType uint8
+
+const (
+	// Facet is the basic design unit.
+	Facet ObjType = iota
+	// Instance is a placed occurrence of a cell.
+	Instance
+	// Net is an electrical net.
+	Net
+	// Terminal is a connection point.
+	Terminal
+	// Path is a wire segment run.
+	Path
+	// Layer is a mask layer.
+	Layer
+	// Prop is a property annotation.
+	Prop
+	// Bag is an untyped grouping object.
+	Bag
+
+	// NumObjTypes is the number of object types.
+	NumObjTypes
+)
+
+var objTypeNames = [NumObjTypes]string{
+	"facet", "instance", "net", "terminal", "path", "layer", "prop", "bag",
+}
+
+// String names the object type.
+func (t ObjType) String() string {
+	if int(t) < len(objTypeNames) {
+		return objTypeNames[t]
+	}
+	return fmt.Sprintf("ObjType(%d)", uint8(t))
+}
+
+// ObjID identifies an OCT object; 0 is invalid.
+type ObjID uint32
+
+// Object is one OCT object with its bidirectional attachment links. OCT
+// does not validate attachment legality (the paper notes it is the user's
+// responsibility) and supports no inheritance.
+type Object struct {
+	ID       ObjID
+	Type     ObjType
+	Attached []ObjID // downward: objects attached to this one
+	Contains []ObjID // upward: objects this one is attached to
+}
+
+// Manager is the OCT data manager.
+type Manager struct {
+	objects []*Object // index 0 unused
+}
+
+// NewManager returns an empty data manager.
+func NewManager() *Manager {
+	return &Manager{objects: make([]*Object, 1, 256)}
+}
+
+// Errors returned by the manager.
+var (
+	ErrNoSuchObject = errors.New("oct: no such object")
+	ErrSelfAttach   = errors.New("oct: cannot attach object to itself")
+)
+
+// Create makes a new object of the given type (a simple write when run
+// under a Session).
+func (m *Manager) Create(t ObjType) *Object {
+	o := &Object{ID: ObjID(len(m.objects)), Type: t}
+	m.objects = append(m.objects, o)
+	return o
+}
+
+// Get returns the object with the given ID, or nil.
+func (m *Manager) Get(id ObjID) *Object {
+	if id == 0 || int(id) >= len(m.objects) {
+		return nil
+	}
+	return m.objects[id]
+}
+
+// NumObjects returns the number of objects.
+func (m *Manager) NumObjects() int { return len(m.objects) - 1 }
+
+// Attach links child under parent (a structure write when run under a
+// Session). Duplicate attachments are permitted, as in OCT.
+func (m *Manager) Attach(parent, child ObjID) error {
+	if parent == child {
+		return ErrSelfAttach
+	}
+	p, c := m.Get(parent), m.Get(child)
+	if p == nil || c == nil {
+		return ErrNoSuchObject
+	}
+	p.Attached = append(p.Attached, child)
+	c.Contains = append(c.Contains, parent)
+	return nil
+}
+
+// AttachedOf returns the objects attached to id, optionally filtered by
+// type (pass NumObjTypes for no filter).
+func (m *Manager) AttachedOf(id ObjID, filter ObjType) []ObjID {
+	o := m.Get(id)
+	if o == nil {
+		return nil
+	}
+	if filter >= NumObjTypes {
+		return o.Attached
+	}
+	var out []ObjID
+	for _, a := range o.Attached {
+		if ao := m.Get(a); ao != nil && ao.Type == filter {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ContainersOf returns the objects id is attached to.
+func (m *Manager) ContainersOf(id ObjID) []ObjID {
+	o := m.Get(id)
+	if o == nil {
+		return nil
+	}
+	return o.Contains
+}

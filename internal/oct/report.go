@@ -1,0 +1,102 @@
+package oct
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ToolStats summarizes the instrumented invocations of one tool.
+type ToolStats struct {
+	Name        string
+	Invocations int
+	Reads       int
+	Writes      int
+	RWRatio     float64
+	IORate      float64
+	LowShare    float64
+	MedShare    float64
+	HighShare   float64
+}
+
+// Trace runs `invocations` instrumented invocations of every tool in the
+// toolset and aggregates per-tool statistics — the synthetic stand-in for
+// the paper's 5000-invocation trace collection.
+func Trace(invocations int, seed int64) []ToolStats {
+	if invocations < 1 {
+		invocations = 1
+	}
+	var out []ToolStats
+	for _, p := range Toolset() {
+		rng := rand.New(rand.NewSource(seed ^ int64(len(p.Name))<<32 ^ int64(p.Name[0])))
+		st := ToolStats{Name: p.Name, Invocations: invocations}
+		var seconds float64
+		var low, med, high float64
+		for i := 0; i < invocations; i++ {
+			m := NewManager()
+			s := p.Run(m, rng)
+			st.Reads += s.Reads()
+			st.Writes += s.Writes()
+			seconds += s.Seconds
+			l, md, h := s.DensityShares()
+			low += l
+			med += md
+			high += h
+		}
+		if st.Writes > 0 {
+			st.RWRatio = float64(st.Reads) / float64(st.Writes)
+		} else {
+			st.RWRatio = float64(st.Reads)
+		}
+		if seconds > 0 {
+			st.IORate = float64(st.Reads+st.Writes) / seconds
+		}
+		n := float64(invocations)
+		st.LowShare, st.MedShare, st.HighShare = low/n, med/n, high/n
+		out = append(out, st)
+	}
+	return out
+}
+
+// Fig32 renders Figure 3.2 (per-tool read/write ratios, VEM reported
+// separately as in the paper).
+func Fig32(stats []ToolStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3.2 -- OCT Tools' Read-Write Ratio\n")
+	fmt.Fprintf(&b, "%-12s %12s\n", "tool", "R/W ratio")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-12s %12.2f\n", s.Name, s.RWRatio)
+	}
+	return b.String()
+}
+
+// Fig33 renders Figure 3.3 (per-tool logical I/O rate per session second).
+func Fig33(stats []ToolStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3.3 -- OCT Tools' Object I/O Rate\n")
+	fmt.Fprintf(&b, "%-12s %14s\n", "tool", "I/Os per sec")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-12s %14.1f\n", s.Name, s.IORate)
+	}
+	return b.String()
+}
+
+// Fig34 renders Figure 3.4 (downward structural-access density
+// distribution per tool, bucketed low 0–3 / medium 4–10 / high >10).
+func Fig34(stats []ToolStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3.4 -- OCT Tool Structure Density Distribution\n")
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s\n", "tool", "low", "med", "high")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-12s %7.1f%% %7.1f%% %7.1f%%\n",
+			s.Name, s.LowShare*100, s.MedShare*100, s.HighShare*100)
+	}
+	return b.String()
+}
+
+// SortByRW orders stats by descending read/write ratio (presentation order
+// of Figure 3.2's discussion).
+func SortByRW(stats []ToolStats) {
+	sort.SliceStable(stats, func(i, j int) bool { return stats[i].RWRatio > stats[j].RWRatio })
+}

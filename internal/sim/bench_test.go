@@ -1,0 +1,40 @@
+package sim
+
+import "testing"
+
+// BenchmarkCalendar measures raw event scheduling and dispatch.
+func BenchmarkCalendar(b *testing.B) {
+	s := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(0.001, tick)
+		}
+	}
+	b.ResetTimer()
+	if b.N > 0 {
+		s.After(0.001, tick)
+		s.RunAll()
+	}
+}
+
+// BenchmarkStation measures the FCFS station under sustained load.
+func BenchmarkStation(b *testing.B) {
+	s := New(1)
+	st := NewStation(s, "disk", 1)
+	n := 0
+	var submit func()
+	submit = func() {
+		n++
+		if n < b.N {
+			st.Request(0.001, submit)
+		}
+	}
+	b.ResetTimer()
+	if b.N > 0 {
+		st.Request(0.001, submit)
+		s.RunAll()
+	}
+}

@@ -1,0 +1,136 @@
+// Package sim is a small discrete-event simulation kernel. It plays the role
+// that the commercial PAWS (Performance Analyst's Workbench System) modeling
+// language played in the paper: an event calendar, first-come-first-served
+// service stations with queueing statistics, delay stations for think time,
+// and deterministic per-component random-number streams.
+//
+// Model code schedules closures on the calendar; long-running activities
+// (such as a transaction walking through its logical operations) are written
+// as resumable state machines whose steps re-schedule themselves via station
+// completion callbacks.
+package sim
+
+import (
+	"container/heap"
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Time is simulated time in seconds.
+type Time = float64
+
+type event struct {
+	t   Time
+	seq uint64 // FIFO tiebreaker for simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. Create one with New; it is not safe for
+// concurrent use (the model is single-threaded by design so that runs are
+// deterministic).
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	seed   int64
+	nrun   uint64 // events executed
+}
+
+// New returns a simulator whose random streams derive from seed.
+func New(seed int64) *Sim {
+	return &Sim{seed: seed}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Executed returns the number of events executed so far.
+func (s *Sim) Executed() uint64 { return s.nrun }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic("sim: scheduling event in the past")
+	}
+	s.seq++
+	heap.Push(&s.events, event{t: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now. Negative delays are clamped
+// to zero.
+func (s *Sim) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Run executes events in time order until the calendar is empty or the next
+// event is later than until. It returns the number of events executed.
+func (s *Sim) Run(until Time) int {
+	n := 0
+	for len(s.events) > 0 && s.events[0].t <= until {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.t
+		e.fn()
+		n++
+		s.nrun++
+	}
+	if s.now < until && !math.IsInf(until, 1) {
+		s.now = until
+	}
+	return n
+}
+
+// RunAll executes events until the calendar is empty.
+func (s *Sim) RunAll() int { return s.Run(math.Inf(1)) }
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// Stream returns a deterministic random stream derived from the simulator
+// seed and the given name. Distinct names give independent streams, so the
+// workload a policy sees does not change when another component draws more
+// or fewer random numbers.
+func (s *Sim) Stream(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(s.seed ^ int64(h.Sum64())))
+}
+
+// Exp draws an exponential variate with the given mean.
+func Exp(r *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.ExpFloat64() * mean
+}
+
+// UniformInt draws an integer uniformly from [lo, hi].
+func UniformInt(r *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}

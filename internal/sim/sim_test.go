@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	n := s.RunAll()
+	if n != 3 {
+		t.Fatalf("executed %d events", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order=%v", order)
+		}
+	}
+	if s.Now() != 3 {
+		t.Fatalf("now=%v", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.RunAll()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	s := New(1)
+	var hits []Time
+	s.After(1, func() {
+		hits = append(hits, s.Now())
+		s.After(2, func() { hits = append(hits, s.Now()) })
+	})
+	s.RunAll()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("hits=%v", hits)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New(1)
+	s.At(10, func() {})
+	s.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	s.At(5, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.At(1, func() { ran++ })
+	s.At(10, func() { ran++ })
+	n := s.Run(5)
+	if n != 1 || ran != 1 {
+		t.Fatalf("Run(5) executed %d", n)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("now=%v, want clamp to until", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending=%d", s.Pending())
+	}
+	s.RunAll()
+	if ran != 2 {
+		t.Fatal("remaining event not run")
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.After(-5, func() { fired = true })
+	s.RunAll()
+	if !fired || s.Now() != 0 {
+		t.Fatalf("fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestStreamsIndependentAndDeterministic(t *testing.T) {
+	a1 := New(42).Stream("a")
+	a2 := New(42).Stream("a")
+	b := New(42).Stream("b")
+	same, diff := true, false
+	for i := 0; i < 32; i++ {
+		x, y, z := a1.Int63(), a2.Int63(), b.Int63()
+		if x != y {
+			same = false
+		}
+		if x != z {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed+name must replay identically")
+	}
+	if !diff {
+		t.Fatal("different names must give different streams")
+	}
+}
+
+func TestExp(t *testing.T) {
+	r := New(7).Stream("exp")
+	sum := 0.0
+	n := 20000
+	for i := 0; i < n; i++ {
+		v := Exp(r, 4)
+		if v < 0 {
+			t.Fatal("negative exponential variate")
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-4) > 0.2 {
+		t.Fatalf("exp mean=%v, want ~4", mean)
+	}
+	if Exp(r, 0) != 0 || Exp(r, -1) != 0 {
+		t.Fatal("non-positive mean must yield 0")
+	}
+}
+
+func TestUniformInt(t *testing.T) {
+	r := New(7).Stream("u")
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := UniformInt(r, 5, 20)
+		if v < 5 || v > 20 {
+			t.Fatalf("out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("saw %d distinct values, want 16", len(seen))
+	}
+	if UniformInt(r, 9, 9) != 9 || UniformInt(r, 9, 3) != 9 {
+		t.Fatal("degenerate ranges must return lo")
+	}
+}
+
+func TestStationFCFSSingleServer(t *testing.T) {
+	s := New(1)
+	st := NewStation(s, "disk", 1)
+	var done []int
+	var times []Time
+	for i := 0; i < 3; i++ {
+		i := i
+		st.Request(10, func() {
+			done = append(done, i)
+			times = append(times, s.Now())
+		})
+	}
+	s.RunAll()
+	if len(done) != 3 {
+		t.Fatalf("done=%v", done)
+	}
+	for i := 0; i < 3; i++ {
+		if done[i] != i {
+			t.Fatalf("not FCFS: %v", done)
+		}
+		if want := Time(10 * (i + 1)); times[i] != want {
+			t.Fatalf("completion %d at %v, want %v", i, times[i], want)
+		}
+	}
+	if st.MeanWait() != 10 { // waits 0,10,20 -> mean 10
+		t.Fatalf("mean wait %v", st.MeanWait())
+	}
+}
+
+func TestStationMultiServer(t *testing.T) {
+	s := New(1)
+	st := NewStation(s, "cpu", 2)
+	var times []Time
+	for i := 0; i < 4; i++ {
+		st.Request(10, func() { times = append(times, s.Now()) })
+	}
+	s.RunAll()
+	// Two at t=10, two at t=20.
+	if times[0] != 10 || times[1] != 10 || times[2] != 20 || times[3] != 20 {
+		t.Fatalf("times=%v", times)
+	}
+}
+
+func TestStationUtilization(t *testing.T) {
+	s := New(1)
+	st := NewStation(s, "d", 1)
+	st.Request(10, nil)
+	s.RunAll()
+	// Busy 10 of 10 seconds.
+	if u := st.Utilization(); math.Abs(u-1) > 1e-9 {
+		t.Fatalf("util=%v", u)
+	}
+	if st.Arrivals() != 1 || st.Busy() != 0 || st.QueueLen() != 0 {
+		t.Fatal("station counters wrong after drain")
+	}
+}
+
+func TestStationZeroService(t *testing.T) {
+	s := New(1)
+	st := NewStation(s, "d", 1)
+	fired := false
+	st.Request(-3, func() { fired = true }) // clamps to 0
+	s.RunAll()
+	if !fired || s.Now() != 0 {
+		t.Fatalf("zero-service request mishandled: now=%v", s.Now())
+	}
+}
+
+// Deterministic replay: the same model run twice executes the same number
+// of events at the same final time.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (uint64, Time) {
+		s := New(99)
+		st := NewStation(s, "d", 2)
+		r := s.Stream("load")
+		var gen func()
+		n := 0
+		gen = func() {
+			if n >= 500 {
+				return
+			}
+			n++
+			st.Request(Exp(r, 0.05), func() { s.After(Exp(r, 0.1), gen) })
+		}
+		for i := 0; i < 5; i++ {
+			gen()
+		}
+		s.RunAll()
+		return s.Executed(), s.Now()
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 || t1 != t2 {
+		t.Fatalf("replay diverged: (%d,%v) vs (%d,%v)", e1, t1, e2, t2)
+	}
+}

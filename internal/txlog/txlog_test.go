@@ -1,0 +1,157 @@
+package txlog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oodb/internal/storage"
+)
+
+func TestBeginEnd(t *testing.T) {
+	m := NewManager(1024)
+	if err := m.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(1); err == nil {
+		t.Fatal("double begin must fail")
+	}
+	if m.Open() != 1 {
+		t.Fatalf("open=%d", m.Open())
+	}
+	if err := m.End(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.End(1); err == nil {
+		t.Fatal("double end must fail")
+	}
+	if _, err := m.Append(1, 10, 1); err == nil {
+		t.Fatal("append outside a transaction must fail")
+	}
+}
+
+func TestBeforeImageCoalescing(t *testing.T) {
+	m := NewManager(1 << 20)
+	m.Begin(1) //nolint:errcheck
+	ios, err := m.Append(1, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ios != 1 {
+		t.Fatalf("first update to a page must log its before image: ios=%d", ios)
+	}
+	ios, _ = m.Append(1, 10, 5)
+	if ios != 0 {
+		t.Fatalf("second update to the same page must coalesce: ios=%d", ios)
+	}
+	ios, _ = m.Append(1, 10, 6)
+	if ios != 1 {
+		t.Fatalf("different page needs its own before image: ios=%d", ios)
+	}
+	m.End(1) //nolint:errcheck
+
+	// A new transaction touching the same page pays again.
+	m.Begin(2) //nolint:errcheck
+	ios, _ = m.Append(2, 10, 5)
+	if ios != 1 {
+		t.Fatalf("coalescing must not span transactions: ios=%d", ios)
+	}
+	m.End(2) //nolint:errcheck
+	st := m.Stats()
+	if st.BeforeImageIOs != 3 || st.Records != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCircularBufferFlush(t *testing.T) {
+	m := NewManager(100) // record = 16 + objSize
+	m.Begin(1)           //nolint:errcheck
+	// Records of 16+34=50 bytes: two fit, third overflows.
+	var flushes int
+	for i := 0; i < 5; i++ {
+		ios, err := m.Append(1, 34, storage.NilPage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flushes += ios
+	}
+	// used: 50,100, flush->50, 100, flush->50 -> 2 flushes.
+	if flushes != 2 {
+		t.Fatalf("flushes=%d", flushes)
+	}
+	if m.Stats().BufferFlushes != 2 {
+		t.Fatalf("stats: %+v", m.Stats())
+	}
+	if m.BufferUsed() != 50 {
+		t.Fatalf("used=%d", m.BufferUsed())
+	}
+}
+
+func TestNilPageSkipsBeforeImage(t *testing.T) {
+	m := NewManager(1 << 20)
+	m.Begin(1) //nolint:errcheck
+	ios, err := m.Append(1, 10, storage.NilPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ios != 0 {
+		t.Fatalf("nil page must not charge a before image: %d", ios)
+	}
+}
+
+func TestBadBufferSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewManager(0)
+}
+
+// Property: total flush count equals what a straightforward byte counter
+// predicts, and before-image I/Os equal the number of distinct
+// (transaction, page) update pairs.
+func TestAccountingMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bufSize := 200 + rng.Intn(800)
+		m := NewManager(bufSize)
+		used := 0
+		wantFlushes := 0
+		wantImages := 0
+		touched := map[[2]int]bool{}
+		for txn := 0; txn < 20; txn++ {
+			if err := m.Begin(txn); err != nil {
+				return false
+			}
+			n := rng.Intn(15)
+			for i := 0; i < n; i++ {
+				size := rng.Intn(100)
+				pg := 1 + rng.Intn(6)
+				key := [2]int{txn, pg}
+				if !touched[key] {
+					touched[key] = true
+					wantImages++
+				}
+				rec := recordHeader + size
+				if used+rec > bufSize {
+					wantFlushes++
+					used = 0
+				}
+				used += rec
+				if _, err := m.Append(txn, size, storage.PageID(pg)); err != nil {
+					return false
+				}
+			}
+			if err := m.End(txn); err != nil {
+				return false
+			}
+		}
+		st := m.Stats()
+		return st.BufferFlushes == wantFlushes && st.BeforeImageIOs == wantImages &&
+			st.IOs() == wantFlushes+wantImages
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

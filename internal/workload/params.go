@@ -1,0 +1,175 @@
+// Package workload implements the paper's workload model (Section 4): a
+// synthetic engineering database built over the Version Data Model, and a
+// transaction generator producing the seven query types of engineering
+// design applications, controlled by the structure-density and
+// read/write-ratio parameters of Table 4.1.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DensityClass is control parameter F: how many component (or composite)
+// objects a structural retrieval returns.
+type DensityClass uint8
+
+const (
+	// LowDensity: every structural retrieval returns at most 3 objects.
+	LowDensity DensityClass = iota
+	// MedDensity: between 4 and 9 objects.
+	MedDensity
+	// HighDensity: 10 or more objects.
+	HighDensity
+)
+
+// String names the class as in the paper's figures.
+func (d DensityClass) String() string {
+	switch d {
+	case LowDensity:
+		return "low-3"
+	case MedDensity:
+		return "med-5"
+	case HighDensity:
+		return "high-10"
+	}
+	return fmt.Sprintf("DensityClass(%d)", d)
+}
+
+// Short returns the abbreviated label used in figure axes ("lo3", "med5",
+// "hi10").
+func (d DensityClass) Short() string {
+	switch d {
+	case LowDensity:
+		return "lo3"
+	case MedDensity:
+		return "med5"
+	case HighDensity:
+		return "hi10"
+	}
+	return "?"
+}
+
+// FanOut draws a configuration fan-out for the class: low 1–3, medium 4–9,
+// high 10–16, matching the bucket boundaries of Figure 3.4 and the
+// operating-level definitions under Table 4.1.
+func (d DensityClass) FanOut(r *rand.Rand) int {
+	switch d {
+	case LowDensity:
+		return 1 + r.Intn(3)
+	case MedDensity:
+		return 4 + r.Intn(6)
+	default:
+		return 10 + r.Intn(7)
+	}
+}
+
+// Densities lists the classes in figure order.
+var Densities = []DensityClass{LowDensity, MedDensity, HighDensity}
+
+// QueryKind enumerates the seven engineering-design query types of
+// Section 4.1 (writes are one class in the paper; the generator
+// distinguishes the flavors so structure updates can trigger reclustering).
+type QueryKind uint8
+
+const (
+	// QSimpleLookup reads one object by name.
+	QSimpleLookup QueryKind = iota
+	// QComponentRetrieval reads a composite and its component objects
+	// (downward structural access; fan-out = structure density).
+	QComponentRetrieval
+	// QCompositeRetrieval reads a component and its composite object(s)
+	// (upward structural access; usually one object, per Section 3.4).
+	QCompositeRetrieval
+	// QDescendantVersion reads an object and its descendant versions.
+	QDescendantVersion
+	// QAncestorVersion reads an object and its ancestor version.
+	QAncestorVersion
+	// QCorresponding reads an object and all objects corresponding to it.
+	QCorresponding
+	// QInsert creates a new object and attaches it to an existing composite.
+	QInsert
+	// QUpdate modifies an existing object in place (no structure change).
+	QUpdate
+	// QStructUpdate changes an object's structural relationships, the
+	// trigger for run-time reclustering.
+	QStructUpdate
+	// QDerive checks in a new version of an existing object.
+	QDerive
+	// QScan is a batch-tool sweep over unrelated objects — the kind of
+	// whole-design consistency scan Section 3.5 observed in SPARCS. Scans
+	// are what punish recency-only replacement.
+	QScan
+	// QCheckout materializes a full object hierarchy (root, components, and
+	// their components) — the checkout operation whose cost the paper's
+	// introduction calls the bottleneck of design applications.
+	QCheckout
+	// QDelete removes a leaf object (Section 4.1's write class is "object
+	// insertion/deletion/updating").
+	QDelete
+
+	// NumQueryKinds is the number of query kinds.
+	NumQueryKinds
+)
+
+var queryKindNames = [NumQueryKinds]string{
+	"simple-lookup", "component-retrieval", "composite-retrieval",
+	"descendant-version", "ancestor-version", "corresponding",
+	"insert", "update", "struct-update", "derive", "scan", "checkout", "delete",
+}
+
+// String names the query kind.
+func (k QueryKind) String() string {
+	if int(k) < len(queryKindNames) {
+		return queryKindNames[k]
+	}
+	return fmt.Sprintf("QueryKind(%d)", uint8(k))
+}
+
+// IsWrite reports whether the query kind counts as a write transaction for
+// the read/write ratio.
+func (k QueryKind) IsWrite() bool {
+	switch k {
+	case QInsert, QUpdate, QStructUpdate, QDerive, QDelete:
+		return true
+	}
+	return false
+}
+
+// Params controls the transaction generator.
+type Params struct {
+	// Density is the structure-density class (parameter F).
+	Density DensityClass
+	// ReadWriteRatio is reads per write (parameter G: 5, 10, or 100 in the
+	// paper's sweeps).
+	ReadWriteRatio float64
+	// SessionMin and SessionMax bound the transactions per user session
+	// (5 to 20 in the paper).
+	SessionMin, SessionMax int
+	// HotFraction is the probability a read targets the recently written
+	// working set rather than a uniformly random object, modeling the
+	// paper's observation that design tools navigate the structures they
+	// are actively building.
+	HotFraction float64
+	// HotSetSize bounds the recent-target ring.
+	HotSetSize int
+}
+
+// DefaultParams returns the experiment defaults for a density class and
+// read/write ratio.
+func DefaultParams(d DensityClass, rw float64) Params {
+	return Params{
+		Density:        d,
+		ReadWriteRatio: rw,
+		SessionMin:     5,
+		SessionMax:     20,
+		HotFraction:    0.7,
+		HotSetSize:     256,
+	}
+}
+
+// Label renders the figure-axis label for a workload class, e.g. "lo3-5"
+// or "hi10-100".
+func (p Params) Label() string {
+	return fmt.Sprintf("%s-%g", p.Density.Short(), p.ReadWriteRatio)
+}

@@ -1,0 +1,431 @@
+// Package oodb is an object-oriented database storage manager that exploits
+// inheritance and structure semantics for clustering and buffering, a
+// faithful reproduction of the system described in:
+//
+//	Ellis E. Chang and Randy H. Katz. "Exploiting Inheritance and Structure
+//	Semantics for Effective Clustering and Buffering in an Object-Oriented
+//	DBMS." SIGMOD 1989 (UCB/CSD 88/473).
+//
+// The package offers two entry points:
+//
+//   - DB: an embeddable object store over the Version Data Model — typed,
+//     versioned objects with configuration, version-history, and
+//     correspondence relationships — whose physical placement is managed by
+//     the paper's run-time clustering algorithm and whose page accesses run
+//     through a context-sensitive buffer pool. Physical I/O is modeled (the
+//     store is in-memory) and fully accounted, so applications can observe
+//     exactly what the paper's policies would do to their access patterns.
+//
+//   - Simulation and experiments: RunSimulation executes the paper's
+//     ten-user engineering-database model for one configuration;
+//     RunExperiment regenerates any of the paper's tables and figures.
+package oodb
+
+import (
+	"fmt"
+
+	"oodb/internal/buffer"
+	"oodb/internal/core"
+	"oodb/internal/model"
+	"oodb/internal/storage"
+)
+
+// Re-exported model vocabulary. These aliases make the internal packages'
+// types part of the public API without duplicating them.
+type (
+	// ObjectID identifies an object.
+	ObjectID = model.ObjectID
+	// TypeID identifies a type in the lattice.
+	TypeID = model.TypeID
+	// Object is a versioned design object.
+	Object = model.Object
+	// Type is a representation type.
+	Type = model.Type
+	// AttrDef declares an attribute on a type.
+	AttrDef = model.AttrDef
+	// FreqProfile is a traversal-frequency profile.
+	FreqProfile = model.FreqProfile
+	// RelKind is a structural-relationship kind.
+	RelKind = model.RelKind
+	// PageID identifies a storage page.
+	PageID = storage.PageID
+
+	// ClusterPolicy selects the candidate-page pool for clustering.
+	ClusterPolicy = core.ClusterPolicy
+	// SplitPolicy selects page-overflow handling.
+	SplitPolicy = core.SplitPolicy
+	// PrefetchPolicy selects the prefetch scope.
+	PrefetchPolicy = core.PrefetchPolicy
+	// Replacement selects the buffer replacement policy.
+	Replacement = core.Replacement
+	// Hint is a user access hint.
+	Hint = core.Hint
+)
+
+// Relationship kinds.
+const (
+	ConfigDown        = model.ConfigDown
+	ConfigUp          = model.ConfigUp
+	VersionAncestor   = model.VersionAncestor
+	VersionDescendant = model.VersionDescendant
+	Correspondence    = model.Correspondence
+	InheritanceRef    = model.InheritanceRef
+
+	NilObject = model.NilObject
+	NilType   = model.NilType
+	NilPage   = storage.NilPage
+)
+
+// Policy constants.
+var (
+	PolicyNoCluster    = core.PolicyNoCluster
+	PolicyWithinBuffer = core.PolicyWithinBuffer
+	PolicyIOLimit2     = core.PolicyIOLimit2
+	PolicyIOLimit10    = core.PolicyIOLimit10
+	PolicyNoLimit      = core.PolicyNoLimit
+)
+
+// Split, prefetch and replacement levels.
+const (
+	NoSplit     = core.NoSplit
+	LinearSplit = core.LinearSplit
+	NPSplit     = core.NPSplit
+
+	NoPrefetch           = core.NoPrefetch
+	PrefetchWithinBuffer = core.PrefetchWithinBuffer
+	PrefetchWithinDB     = core.PrefetchWithinDB
+
+	ReplLRU     = core.ReplLRU
+	ReplContext = core.ReplContext
+	ReplRandom  = core.ReplRandom
+)
+
+// Options configures a DB.
+type Options struct {
+	// PageSize is the page capacity in bytes (default 4096).
+	PageSize int
+	// BufferFrames is the buffer-pool size in pages (default 1000).
+	BufferFrames int
+	// Replacement selects the buffer replacement policy. The zero value is
+	// ReplLRU; the paper recommends ReplContext.
+	Replacement Replacement
+	// Cluster selects the clustering policy. The zero value is
+	// PolicyNoCluster (objects placed in creation order); the paper
+	// recommends PolicyNoLimit when the read/write ratio is high.
+	Cluster ClusterPolicy
+	// Split selects the page-splitting policy (default LinearSplit).
+	Split SplitPolicy
+	// Prefetch selects the prefetch policy (default NoPrefetch).
+	Prefetch PrefetchPolicy
+	// Seed drives the Random replacement policy (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize <= 0 {
+		o.PageSize = 4096
+	}
+	if o.BufferFrames <= 0 {
+		o.BufferFrames = 1000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// IOStats accounts the modeled physical I/O a DB has performed.
+type IOStats struct {
+	LogicalReads  int
+	PageReads     int
+	PageWrites    int
+	HitRatio      float64
+	ClusterMoves  int
+	Splits        int
+	CandidateIOs  int
+	PrefetchReads int
+}
+
+// DB is an object store whose placement and buffering follow the paper's
+// algorithms. It is not safe for concurrent use; wrap it with your own
+// synchronization if needed.
+type DB struct {
+	opt   Options
+	graph *model.Graph
+	store *storage.Manager
+	pool  *buffer.Pool
+	clust *core.Clusterer
+	pf    *core.Prefetcher
+
+	logicalReads int
+	pageReads    int
+	pageWrites   int
+}
+
+// Open creates an empty database.
+func Open(opt Options) (*DB, error) {
+	opt = opt.withDefaults()
+	g := model.NewGraph()
+	st := storage.NewManager(g, opt.PageSize)
+
+	var pol buffer.Policy
+	switch opt.Replacement {
+	case ReplLRU:
+		pol = buffer.NewLRU()
+	case ReplRandom:
+		pol = buffer.NewRandom(newSeededRand(opt.Seed), uint64(opt.BufferFrames/4))
+	case ReplContext:
+		pol = core.NewContextPolicy(float64(opt.BufferFrames) * 3 / 4)
+	default:
+		return nil, fmt.Errorf("oodb: unknown replacement policy %v", opt.Replacement)
+	}
+	pool := buffer.NewPool(opt.BufferFrames, pol)
+
+	clust := core.NewClusterer(g, st, pool)
+	clust.Policy = opt.Cluster
+	clust.Split = opt.Split
+	clust.AttrCost.PageSize = opt.PageSize
+
+	pf := &core.Prefetcher{Graph: g, Store: st, Pool: pool, Policy: opt.Prefetch}
+
+	return &DB{opt: opt, graph: g, store: st, pool: pool, clust: clust, pf: pf}, nil
+}
+
+// DefineType adds a type to the lattice.
+func (db *DB) DefineType(name string, super TypeID, baseSize int, freq FreqProfile, attrs []AttrDef) (TypeID, error) {
+	return db.graph.DefineType(name, super, baseSize, freq, attrs)
+}
+
+// TypeOf returns a type definition.
+func (db *DB) TypeOf(id TypeID) *Type { return db.graph.Type(id) }
+
+// charge accounts the physical I/Os of a placement or access.
+func (db *DB) charge(ios []core.PhysIO) {
+	for _, io := range ios {
+		if io.Kind == core.ReadIO {
+			db.pageReads++
+		} else {
+			db.pageWrites++
+		}
+	}
+}
+
+// CreateObject creates version `version` of design object `name`, decides
+// its inherited-attribute implementations, and places it with the
+// clustering policy.
+func (db *DB) CreateObject(name string, version int, t TypeID) (*Object, error) {
+	o, err := db.graph.NewObject(name, version, t)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := db.clust.PlaceNew(o)
+	if err != nil {
+		return nil, err
+	}
+	db.charge(pl.IOs)
+	db.markDirty(pl.DirtyPages)
+	return o, nil
+}
+
+func (db *DB) markDirty(pages []PageID) {
+	for _, pg := range pages {
+		if db.pool.Contains(pg) {
+			db.pool.MarkDirty(pg) //nolint:errcheck // contains-checked
+		}
+	}
+}
+
+// CreateAttached creates an object already attached to a composite, so the
+// clustering algorithm sees the configuration relationship when it picks
+// the initial placement — the natural way to add a component. This is the
+// programmatic form of the paper's creation-time "place near object XX"
+// hints.
+func (db *DB) CreateAttached(name string, version int, t TypeID, composite ObjectID) (*Object, error) {
+	o, err := db.graph.NewObject(name, version, t)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.graph.Attach(composite, o.ID); err != nil {
+		return nil, err
+	}
+	pl, err := db.clust.PlaceNew(o)
+	if err != nil {
+		return nil, err
+	}
+	db.charge(pl.IOs)
+	db.markDirty(pl.DirtyPages)
+	return o, nil
+}
+
+// Get reads one object, running the buffer, context-boost, and prefetch
+// machinery.
+func (db *DB) Get(id ObjectID) (*Object, error) {
+	o := db.graph.Object(id)
+	if o == nil {
+		return nil, fmt.Errorf("oodb: %w: %d", model.ErrNoSuchObject, id)
+	}
+	pg := db.store.PageOf(id)
+	if pg == NilPage {
+		return nil, fmt.Errorf("oodb: object %d is unplaced", id)
+	}
+	res, err := db.pool.Access(pg)
+	if err != nil {
+		return nil, err
+	}
+	db.charge(core.ExpandAccess(res, pg))
+	db.logicalReads++
+	if db.opt.Replacement == ReplContext {
+		for _, rp := range core.ContextBoostPages(db.graph, db.store, o) {
+			db.pool.Boost(rp)
+		}
+	}
+	pfIOs, err := db.pf.OnAccess(o)
+	if err != nil {
+		return nil, err
+	}
+	db.charge(pfIOs)
+	return o, nil
+}
+
+// GetClosure reads an object and its one-hop neighborhood along kind,
+// returning the neighbor objects — the shape of the paper's component /
+// composite / version / correspondence retrieval queries.
+func (db *DB) GetClosure(id ObjectID, kind RelKind) ([]*Object, error) {
+	o, err := db.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	ids := append([]ObjectID(nil), o.Neighbors(kind)...)
+	out := make([]*Object, 0, len(ids))
+	for _, n := range ids {
+		no, err := db.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, no)
+	}
+	return out, nil
+}
+
+// Attach adds a configuration relationship and reclusters the component.
+func (db *DB) Attach(composite, component ObjectID) error {
+	if err := db.graph.Attach(composite, component); err != nil {
+		return err
+	}
+	return db.recluster(component)
+}
+
+// Correspond adds a correspondence relationship and reclusters both ends.
+func (db *DB) Correspond(a, b ObjectID) error {
+	if err := db.graph.Correspond(a, b); err != nil {
+		return err
+	}
+	if err := db.recluster(a); err != nil {
+		return err
+	}
+	return db.recluster(b)
+}
+
+// Derive creates and places a new version of ancestor.
+func (db *DB) Derive(ancestor ObjectID) (*Object, error) {
+	o, err := db.graph.Derive(ancestor)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := db.clust.PlaceNew(o)
+	if err != nil {
+		return nil, err
+	}
+	db.charge(pl.IOs)
+	db.markDirty(pl.DirtyPages)
+	return o, nil
+}
+
+// Delete removes an object that anchors no structure (no components, no
+// descendant versions): its page space is reclaimed and every relationship
+// pointing at it is unlinked. Deleting a composite or a versioned ancestor
+// returns model.ErrInUse; dismantle bottom-up.
+func (db *DB) Delete(id ObjectID) error {
+	o := db.graph.Object(id)
+	if o == nil {
+		return fmt.Errorf("oodb: %w: %d", model.ErrNoSuchObject, id)
+	}
+	if len(o.Components) > 0 || len(o.Descendants) > 0 {
+		return model.ErrInUse
+	}
+	if pg := db.store.PageOf(id); pg != NilPage {
+		if db.pool.Contains(pg) {
+			db.pool.MarkDirty(pg) //nolint:errcheck // contains-checked
+		}
+		if err := db.store.Remove(id); err != nil {
+			return err
+		}
+	}
+	return db.graph.DeleteObject(id)
+}
+
+func (db *DB) recluster(id ObjectID) error {
+	o := db.graph.Object(id)
+	if o == nil {
+		return fmt.Errorf("oodb: %w: %d", model.ErrNoSuchObject, id)
+	}
+	if db.store.PageOf(id) == NilPage {
+		return nil // unplaced objects get their placement at CreateObject
+	}
+	pl, err := db.clust.Recluster(o)
+	if err != nil {
+		return err
+	}
+	db.charge(pl.IOs)
+	db.markDirty(pl.DirtyPages)
+	return nil
+}
+
+// RegisterHint registers the application's primary access pattern, e.g.
+// "access by configuration" (the paper's procedural hint interface). It
+// steers placement and prefetching when the hint policy honors hints.
+func (db *DB) RegisterHint(kind RelKind) {
+	h := Hint{Kind: kind, Active: true}
+	db.clust.Hints = core.UserHints
+	db.clust.Hint = h
+	db.pf.Hints = core.UserHints
+	db.pf.Hint = h
+}
+
+// ClearHint removes the registered hint.
+func (db *DB) ClearHint() {
+	db.clust.Hints = core.NoHints
+	db.pf.Hints = core.NoHints
+}
+
+// PageOf returns the page an object lives on.
+func (db *DB) PageOf(id ObjectID) PageID { return db.store.PageOf(id) }
+
+// Triple renders the paper's name[i].type notation for an object.
+func (db *DB) Triple(id ObjectID) string { return db.graph.Triple(id) }
+
+// NumObjects returns the number of objects.
+func (db *DB) NumObjects() int { return db.graph.NumObjects() }
+
+// NumPages returns the number of allocated pages.
+func (db *DB) NumPages() int { return db.store.NumPages() }
+
+// Stats returns cumulative I/O accounting.
+func (db *DB) Stats() IOStats {
+	ps := db.pool.Stats()
+	cs := db.clust.Stats()
+	return IOStats{
+		LogicalReads:  db.logicalReads,
+		PageReads:     db.pageReads,
+		PageWrites:    db.pageWrites,
+		HitRatio:      ps.HitRatio(),
+		ClusterMoves:  cs.Moves,
+		Splits:        cs.Splits,
+		CandidateIOs:  cs.CandidateIOs,
+		PrefetchReads: db.pf.PrefetchReads,
+	}
+}
+
+// CheckInvariants validates storage consistency (every object on exactly
+// one page, page capacities respected).
+func (db *DB) CheckInvariants() error { return db.store.CheckInvariants() }

@@ -1,0 +1,81 @@
+package oodb
+
+import (
+	"math/rand"
+
+	"oodb/internal/engine"
+	"oodb/internal/experiment"
+)
+
+// Simulation-facing API: run the paper's ten-user engineering-database
+// model, or regenerate its published tables and figures.
+
+type (
+	// SimConfig is a full simulation configuration (Table 4.1 parameters
+	// plus mechanics). Build one with DefaultSimConfig and override fields.
+	SimConfig = engine.Config
+	// SimResults summarizes one simulation run.
+	SimResults = engine.Results
+	// ExperimentOptions scales experiment runs.
+	ExperimentOptions = experiment.Options
+	// ExperimentTable is a regenerated table or figure.
+	ExperimentTable = experiment.Table
+)
+
+// DefaultSimConfig returns the paper's parameter set scaled by scale
+// (1.0 = the full 500 MB database with 1000 buffer frames).
+func DefaultSimConfig(scale float64) SimConfig { return engine.DefaultConfig(scale) }
+
+// RunSimulation executes one simulation run.
+func RunSimulation(cfg SimConfig) (SimResults, error) {
+	e, err := engine.New(cfg)
+	if err != nil {
+		return SimResults{}, err
+	}
+	return e.Run()
+}
+
+// Experiments lists the available experiment IDs ("fig3.2" ... "fig6.2",
+// "table5.1", "ext.*").
+func Experiments() []string { return experiment.IDs() }
+
+// RunExperiment regenerates one of the paper's tables or figures.
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentTable, error) {
+	r, ok := experiment.Lookup(id)
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return r(experiment.NewHarness(opt))
+}
+
+// RunExperiments regenerates several experiments over one shared harness,
+// so simulation runs that appear in multiple figures (for example the
+// Figure 5.1 grid cells reused by Figures 5.2–5.4) execute once.
+func RunExperiments(ids []string, opt ExperimentOptions) ([]*ExperimentTable, error) {
+	h := experiment.NewHarness(opt)
+	out := make([]*ExperimentTable, 0, len(ids))
+	for _, id := range ids {
+		r, ok := experiment.Lookup(id)
+		if !ok {
+			return out, &UnknownExperimentError{ID: id}
+		}
+		tb, err := r(h)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, tb)
+	}
+	return out, nil
+}
+
+// UnknownExperimentError reports an unregistered experiment ID.
+type UnknownExperimentError struct{ ID string }
+
+// Error implements error.
+func (e *UnknownExperimentError) Error() string {
+	return "oodb: unknown experiment " + e.ID
+}
+
+func newSeededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

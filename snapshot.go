@@ -1,0 +1,165 @@
+package oodb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"oodb/internal/model"
+)
+
+// Snapshot support: Save serializes the full database — the type lattice,
+// every object with its relationships and attribute implementations, and
+// the physical page layout — and Load reconstructs it. The physical layout
+// matters: it is the clustering algorithm's accumulated work, so a reloaded
+// database keeps the locality the policies built.
+//
+// The format is encoding/gob of the snapshot structure below; it is
+// versioned so later releases can migrate.
+
+// snapshotVersion identifies the on-disk format.
+const snapshotVersion = 1
+
+type snapType struct {
+	Name     string
+	Super    TypeID
+	BaseSize int
+	Freq     FreqProfile
+	Attrs    []AttrDef
+}
+
+type snapObject struct {
+	ID      ObjectID
+	Name    string
+	Version int
+	Type    TypeID
+	Size    int
+	Freq    FreqProfile
+
+	Components     []ObjectID
+	Composites     []ObjectID
+	Ancestor       ObjectID
+	Descendants    []ObjectID
+	Correspondents []ObjectID
+	InheritsFrom   ObjectID
+	AttrImpls      []model.AttrImpl
+
+	Page PageID
+}
+
+type snapshot struct {
+	Format   int
+	PageSize int
+	NumPages int
+	Types    []snapType
+	Objects  []snapObject
+}
+
+// Save writes the database to w. The buffer pool's transient state (what is
+// resident, dirty flags) is deliberately not saved: a reloaded database
+// starts with a cold cache, like a restarted server.
+func (db *DB) Save(w io.Writer) error {
+	snap := snapshot{
+		Format:   snapshotVersion,
+		PageSize: db.opt.PageSize,
+		NumPages: db.store.NumPages(),
+	}
+	for t := TypeID(1); int(t) <= db.graph.NumTypes(); t++ {
+		tp := db.graph.Type(t)
+		snap.Types = append(snap.Types, snapType{
+			Name: tp.Name, Super: tp.Super, BaseSize: tp.BaseSize,
+			Freq: tp.Freq, Attrs: tp.Attrs,
+		})
+	}
+	var iterErr error
+	db.graph.ForEachObject(func(o *Object) {
+		snap.Objects = append(snap.Objects, snapObject{
+			ID:   o.ID,
+			Name: o.Name, Version: o.Version, Type: o.Type, Size: o.Size,
+			Freq:           o.Freq,
+			Components:     o.Components,
+			Composites:     o.Composites,
+			Ancestor:       o.Ancestor,
+			Descendants:    o.Descendants,
+			Correspondents: o.Correspondents,
+			InheritsFrom:   o.InheritsFrom,
+			AttrImpls:      o.AttrImpls,
+			Page:           db.store.PageOf(o.ID),
+		})
+	})
+	if iterErr != nil {
+		return iterErr
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reconstructs a database from a Save stream. opt supplies the runtime
+// configuration (buffer pool, policies); its PageSize must match the
+// snapshot's or be zero (in which case the snapshot's is used).
+func Load(r io.Reader, opt Options) (*DB, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("oodb: decoding snapshot: %w", err)
+	}
+	if snap.Format != snapshotVersion {
+		return nil, fmt.Errorf("oodb: unsupported snapshot format %d", snap.Format)
+	}
+	if opt.PageSize == 0 {
+		opt.PageSize = snap.PageSize
+	}
+	if opt.PageSize != snap.PageSize {
+		return nil, fmt.Errorf("oodb: page size %d does not match snapshot's %d",
+			opt.PageSize, snap.PageSize)
+	}
+	db, err := Open(opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range snap.Types {
+		if _, err := db.graph.DefineType(st.Name, st.Super, st.BaseSize, st.Freq, st.Attrs); err != nil {
+			return nil, fmt.Errorf("oodb: restoring type %q: %w", st.Name, err)
+		}
+	}
+	// Pass 1: recreate objects under their original IDs so references line
+	// up; gaps left by deleted objects become tombstones.
+	for _, so := range snap.Objects {
+		o, err := db.graph.RestoreObject(so.ID, so.Name, so.Version, so.Type)
+		if err != nil {
+			return nil, fmt.Errorf("oodb: restoring object %d: %w", so.ID, err)
+		}
+		o.Size = so.Size
+		o.Freq = so.Freq
+		o.AttrImpls = so.AttrImpls
+	}
+	// Pass 2: relationships (assigned directly — the graph mutators would
+	// re-derive side effects like correspondence inheritance).
+	for _, so := range snap.Objects {
+		o := db.graph.Object(so.ID)
+		o.Components = so.Components
+		o.Composites = so.Composites
+		o.Ancestor = so.Ancestor
+		o.Descendants = so.Descendants
+		o.Correspondents = so.Correspondents
+		o.InheritsFrom = so.InheritsFrom
+	}
+	// Pass 3: physical layout.
+	for p := 0; p < snap.NumPages; p++ {
+		db.store.AllocatePage()
+	}
+	for _, so := range snap.Objects {
+		if so.Page == NilPage {
+			continue
+		}
+		if so.Page > PageID(snap.NumPages) {
+			return nil, fmt.Errorf("oodb: object %d on page %d beyond snapshot's %d pages",
+				so.ID, so.Page, snap.NumPages)
+		}
+		if err := db.store.Place(so.ID, so.Page); err != nil {
+			return nil, fmt.Errorf("oodb: replacing object %d on page %d: %w", so.ID, so.Page, err)
+		}
+	}
+	if err := db.store.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("oodb: snapshot inconsistent: %w", err)
+	}
+	return db, nil
+}

@@ -1,0 +1,124 @@
+package oodb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// buildSnapshotFixture creates a database with every relationship kind and
+// both attribute implementations exercised.
+func buildSnapshotFixture(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(Options{BufferFrames: 32, Cluster: PolicyNoLimit, Split: LinearSplit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootT, leafT := schema(t, db)
+	netT, err := db.DefineType("netlist", NilType, 150, FreqProfile{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		r, err := db.CreateObject(fmt.Sprintf("R%d", i), 1, rootT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 4; j++ {
+			if _, err := db.CreateAttached(fmt.Sprintf("L%d_%d", i, j), 1, leafT, r.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n, err := db.CreateObject(fmt.Sprintf("R%d", i), 1, netT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Correspond(r.ID, n.ID); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Derive(r.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := buildSnapshotFixture(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	db2, err := Load(&buf, Options{BufferFrames: 32, Cluster: PolicyNoLimit})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if db2.NumObjects() != db.NumObjects() {
+		t.Fatalf("objects: %d vs %d", db2.NumObjects(), db.NumObjects())
+	}
+	if db2.NumPages() != db.NumPages() {
+		t.Fatalf("pages: %d vs %d", db2.NumPages(), db.NumPages())
+	}
+	// Identity, relationships, and physical placement survive.
+	for id := ObjectID(1); int(id) <= db.NumObjects(); id++ {
+		a := db.graph.Object(id)
+		b := db2.graph.Object(id)
+		if db.Triple(id) != db2.Triple(id) {
+			t.Fatalf("object %d identity: %q vs %q", id, db.Triple(id), db2.Triple(id))
+		}
+		if a.Size != b.Size || len(a.Components) != len(b.Components) ||
+			len(a.Correspondents) != len(b.Correspondents) ||
+			a.Ancestor != b.Ancestor || a.InheritsFrom != b.InheritsFrom {
+			t.Fatalf("object %d state diverged", id)
+		}
+		if db.PageOf(id) != db2.PageOf(id) {
+			t.Fatalf("object %d placement: page %d vs %d", id, db.PageOf(id), db2.PageOf(id))
+		}
+	}
+	if err := db2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded database is fully usable.
+	o, err := db2.GetClosure(ObjectID(1), ConfigDown)
+	if err != nil || len(o) == 0 {
+		t.Fatalf("reloaded navigation: %v %v", o, err)
+	}
+	if _, err := db2.Derive(ObjectID(1)); err != nil {
+		t.Fatalf("reloaded derive: %v", err)
+	}
+}
+
+func TestSnapshotPageSizeMismatch(t *testing.T) {
+	db := buildSnapshotFixture(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, Options{PageSize: 8192}); err == nil {
+		t.Fatal("page-size mismatch accepted")
+	}
+}
+
+func TestSnapshotGarbageRejected(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot")), Options{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSnapshotEmptyDB(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.NumObjects() != 0 || db2.NumPages() != 0 {
+		t.Fatal("empty snapshot not empty")
+	}
+}
