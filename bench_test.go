@@ -10,7 +10,9 @@
 package oodb_test
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"oodb"
 )
@@ -176,4 +178,59 @@ func BenchmarkSingleRun(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// parallelSweep is a 16-configuration slice of the Section 6 factorial grid:
+// independent runs varying read/write ratio and clustering, the shape every
+// figure sweep has.
+func parallelSweep() []oodb.SimConfig {
+	var cfgs []oodb.SimConfig
+	for _, rw := range []float64{2, 5, 10, 20, 50, 100, 150, 200} {
+		for _, cluster := range []string{"No_Cluster", "No_limit"} {
+			cfg := oodb.DefaultSimConfig(0.005)
+			cfg.Transactions = 200
+			cfg.ReadWriteRatio = rw
+			cl, err := oodb.ParseClusterPolicy(cluster)
+			if err != nil {
+				panic(err)
+			}
+			cfg.Cluster = cl
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+// BenchmarkHarnessParallel measures the batch API at increasing worker
+// counts on a multi-config sweep. Each iteration uses a fresh harness (cold
+// memo cache), so it measures real simulation throughput, not cache hits.
+// The workers=4 case additionally reports its wall-clock speedup over a
+// serial (workers=1) baseline measured in the same process; on a machine
+// with >= 4 CPUs the independent seeded runs scale near-linearly.
+func BenchmarkHarnessParallel(b *testing.B) {
+	cfgs := parallelSweep()
+	sweep := func(b *testing.B, workers, n int) time.Duration {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			opt := oodb.ExperimentOptions{Scale: 0.005, Transactions: 200, Seed: 1, Workers: workers}
+			if _, err := oodb.RunSimulations(cfgs, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			sweep(b, w, b.N)
+		})
+	}
+	b.Run("speedup-4v1", func(b *testing.B) {
+		serial := sweep(b, 1, 1)
+		b.ResetTimer()
+		elapsed := sweep(b, 4, b.N)
+		b.StopTimer()
+		perOp := elapsed / time.Duration(b.N)
+		b.ReportMetric(float64(serial)/float64(perOp), "x-speedup")
+	})
 }

@@ -7,7 +7,7 @@
 //
 //	factorial               # both figures
 //	factorial -fig 6.1
-//	factorial -scale 0.02 -txns 1000 -v
+//	factorial -scale 0.02 -txns 1000 -parallel 8 -v
 package main
 
 import (
@@ -24,11 +24,12 @@ func main() {
 		scale = flag.Float64("scale", 0.02, "database/buffer scale")
 		txns  = flag.Int("txns", 1000, "measured transactions per run")
 		seed  = flag.Int64("seed", 1, "random seed")
-		verb  = flag.Bool("v", false, "print per-run progress (256 runs)")
+		par   = flag.Int("parallel", 0, "worker pool size for the 2^8 factorial runs (0 = GOMAXPROCS, 1 = serial)")
+		verb  = flag.Bool("v", false, "print per-run progress (256 runs, concurrency-safe)")
 	)
 	flag.Parse()
 
-	opt := oodb.ExperimentOptions{Scale: *scale, Transactions: *txns, Seed: *seed}
+	opt := oodb.ExperimentOptions{Scale: *scale, Transactions: *txns, Seed: *seed, Workers: *par}
 	if *verb {
 		opt.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	oodbsim -list
-//	oodbsim -fig 5.1 [-scale 0.05] [-txns 3000] [-seed 1] [-v]
+//	oodbsim -fig 5.1 [-scale 0.05] [-txns 3000] [-seed 1] [-parallel 8] [-v]
 //	oodbsim -table 5.1
 //	oodbsim -all
 //	oodbsim -run -density high-10 -rw 100 -cluster No_limit   # single run
@@ -31,7 +31,8 @@ func main() {
 		txns   = flag.Int("txns", 3000, "measured transactions per run")
 		seed   = flag.Int64("seed", 1, "random seed")
 		reps   = flag.Int("reps", 1, "replications per configuration (averaged)")
-		verb   = flag.Bool("v", false, "print per-run progress")
+		par    = flag.Int("parallel", 0, "worker pool size for simulation runs (0 = GOMAXPROCS, 1 = serial)")
+		verb   = flag.Bool("v", false, "print per-run progress (concurrency-safe)")
 		asJSON = flag.Bool("json", false, "emit tables as JSON instead of text")
 
 		single   = flag.Bool("run", false, "run a single simulation instead of an experiment")
@@ -50,7 +51,7 @@ func main() {
 		return
 	}
 
-	opt := oodb.ExperimentOptions{Scale: *scale, Transactions: *txns, Seed: *seed, Replications: *reps}
+	opt := oodb.ExperimentOptions{Scale: *scale, Transactions: *txns, Seed: *seed, Replications: *reps, Workers: *par}
 	if *verb {
 		opt.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

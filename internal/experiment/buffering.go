@@ -54,23 +54,25 @@ func Fig511(h *Harness) (*Table, error) {
 	for _, c := range fig511Combos {
 		t.Columns = append(t.Columns, c.name)
 	}
+	b := h.batch()
 	for _, d := range workload.Densities {
 		for _, rw := range rwLevels {
-			row := Row{Label: fmt.Sprintf("%s%g", d.Short(), rw)}
+			ri := len(t.Rows)
+			t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%s%g", d.Short(), rw)})
 			for _, c := range fig511Combos {
 				cfg := h.bufferingBase()
 				cfg.Density = d
 				cfg.ReadWriteRatio = rw
 				cfg.Replacement = c.repl
 				cfg.Prefetch = c.pf
-				r, err := h.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				row.Cells = append(row.Cells, r.MeanResponse)
+				b.add(cfg, func(r engine.Results) {
+					t.Rows[ri].Cells = append(t.Rows[ri].Cells, r.MeanResponse)
+				})
 			}
-			t.Rows = append(t.Rows, row)
 		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	if base, err := t.Cell("hi10100", "LRU_no_p"); err == nil {
 		if best, err := t.Cell("hi10100", "C_p_DB"); err == nil && best > 0 {
@@ -97,23 +99,25 @@ func figPrefetchUnder(id string, repl core.Replacement) Runner {
 			Unit:    "s (mean response time)",
 			Columns: prefetchColumns,
 		}
+		b := h.batch()
 		for _, d := range workload.Densities {
 			for _, rw := range rwLevels {
-				row := Row{Label: fmt.Sprintf("%s%g", d.Short(), rw)}
+				ri := len(t.Rows)
+				t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%s%g", d.Short(), rw)})
 				for _, pf := range prefetchPolicies {
 					cfg := h.bufferingBase()
 					cfg.Density = d
 					cfg.ReadWriteRatio = rw
 					cfg.Replacement = repl
 					cfg.Prefetch = pf
-					r, err := h.Run(cfg)
-					if err != nil {
-						return nil, err
-					}
-					row.Cells = append(row.Cells, r.MeanResponse)
+					b.add(cfg, func(r engine.Results) {
+						t.Rows[ri].Cells = append(t.Rows[ri].Cells, r.MeanResponse)
+					})
 				}
-				t.Rows = append(t.Rows, row)
 			}
+		}
+		if err := b.run(); err != nil {
+			return nil, err
 		}
 		switch repl {
 		case core.ReplContext:

@@ -59,22 +59,24 @@ func Fig51(h *Harness) (*Table, error) {
 		Unit:    "s (mean response time)",
 		Columns: clusterColumns,
 	}
+	b := h.batch()
 	for _, d := range workload.Densities {
 		for _, rw := range rwLevels {
-			row := Row{Label: fmt.Sprintf("%s-%g", d.Short(), rw)}
+			ri := len(t.Rows)
+			t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%s-%g", d.Short(), rw)})
 			for _, cl := range clusterPolicies {
 				cfg := h.clusteringBase()
 				cfg.Density = d
 				cfg.ReadWriteRatio = rw
 				cfg.Cluster = cl
-				r, err := h.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				row.Cells = append(row.Cells, r.MeanResponse)
+				b.add(cfg, func(r engine.Results) {
+					t.Rows[ri].Cells = append(t.Rows[ri].Cells, r.MeanResponse)
+				})
 			}
-			t.Rows = append(t.Rows, row)
 		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	if v, err := improvement(t, "hi10-100"); err == nil {
 		t.Notes = append(t.Notes, fmt.Sprintf(
@@ -116,20 +118,22 @@ func figClusterByDensity(id string, rw float64) Runner {
 			Unit:    "s (mean response time)",
 			Columns: clusterColumns,
 		}
+		b := h.batch()
 		for _, d := range workload.Densities {
-			row := Row{Label: fmt.Sprintf("%s-%g", d.Short(), rw)}
+			ri := len(t.Rows)
+			t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%s-%g", d.Short(), rw)})
 			for _, cl := range clusterPolicies {
 				cfg := h.clusteringBase()
 				cfg.Density = d
 				cfg.ReadWriteRatio = rw
 				cfg.Cluster = cl
-				r, err := h.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				row.Cells = append(row.Cells, r.MeanResponse)
+				b.add(cfg, func(r engine.Results) {
+					t.Rows[ri].Cells = append(t.Rows[ri].Cells, r.MeanResponse)
+				})
 			}
-			t.Rows = append(t.Rows, row)
+		}
+		if err := b.run(); err != nil {
+			return nil, err
 		}
 		switch rw {
 		case 5:
@@ -157,20 +161,22 @@ func figClusterByRW(id string, d workload.DensityClass) Runner {
 			Unit:    "s (mean response time)",
 			Columns: clusterColumns,
 		}
+		b := h.batch()
 		for _, rw := range []float64{2, 5, 10, 50, 100} {
-			row := Row{Label: fmt.Sprintf("%s-%g", d.Short(), rw)}
+			ri := len(t.Rows)
+			t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%s-%g", d.Short(), rw)})
 			for _, cl := range clusterPolicies {
 				cfg := h.clusteringBase()
 				cfg.Density = d
 				cfg.ReadWriteRatio = rw
 				cfg.Cluster = cl
-				r, err := h.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				row.Cells = append(row.Cells, r.MeanResponse)
+				b.add(cfg, func(r engine.Results) {
+					t.Rows[ri].Cells = append(t.Rows[ri].Cells, r.MeanResponse)
+				})
 			}
-			t.Rows = append(t.Rows, row)
+		}
+		if err := b.run(); err != nil {
+			return nil, err
 		}
 		switch d {
 		case workload.LowDensity:
@@ -199,21 +205,23 @@ func Fig55(h *Harness) (*Table, error) {
 		Unit:    "logging I/Os per 1000 transactions",
 		Columns: []string{"No_Cluster", "No_limit"},
 	}
+	b := h.batch()
 	for _, d := range workload.Densities {
-		row := Row{Label: d.String()}
+		ri := len(t.Rows)
+		t.Rows = append(t.Rows, Row{Label: d.String()})
 		for _, cl := range []core.ClusterPolicy{core.PolicyNoCluster, core.PolicyNoLimit} {
 			cfg := h.clusteringBase()
 			cfg.Density = d
 			cfg.ReadWriteRatio = 5
 			cfg.Cluster = cl
-			r, err := h.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			perK := float64(r.Log.IOs()) / float64(r.Completed) * 1000
-			row.Cells = append(row.Cells, perK)
+			b.add(cfg, func(r engine.Results) {
+				perK := float64(r.Log.IOs()) / float64(r.Completed) * 1000
+				t.Rows[ri].Cells = append(t.Rows[ri].Cells, perK)
+			})
 		}
-		t.Rows = append(t.Rows, row)
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -232,24 +240,34 @@ func Table51(h *Harness) (*Table, error) {
 		Columns: []string{"break-even"},
 	}
 	probes := []float64{0.25, 0.5, 1, 2, 3, 4, 6, 8, 12}
-	for _, d := range workload.Densities {
-		diff := make([]float64, len(probes)) // No_Cluster - No_limit
+	// diffs[density] is No_Cluster - No_limit at each probed ratio; the
+	// whole 3 x 9 x 2 sweep is planned as one batch before any crossing is
+	// interpolated.
+	diffs := make([][]float64, len(workload.Densities))
+	b := h.batch()
+	for di, d := range workload.Densities {
+		diffs[di] = make([]float64, len(probes))
 		for i, rw := range probes {
-			var resp [2]float64
 			for j, cl := range []core.ClusterPolicy{core.PolicyNoCluster, core.PolicyNoLimit} {
 				cfg := h.clusteringBase()
 				cfg.Density = d
 				cfg.ReadWriteRatio = rw
 				cfg.Cluster = cl
-				r, err := h.Run(cfg)
-				if err != nil {
-					return nil, err
+				sign := 1.0
+				if j == 1 {
+					sign = -1
 				}
-				resp[j] = r.MeanResponse
+				b.add(cfg, func(r engine.Results) {
+					diffs[di][i] += sign * r.MeanResponse
+				})
 			}
-			diff[i] = resp[0] - resp[1]
 		}
-		be := crossing(probes, diff)
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+	for di, d := range workload.Densities {
+		be := crossing(probes, diffs[di])
 		t.Rows = append(t.Rows, Row{Label: d.String(), Cells: []float64{be}})
 	}
 	t.Notes = append(t.Notes,

@@ -8,13 +8,26 @@
 // reports; renderers produce aligned text output. Simulation runs are
 // memoized per harness so overlapping figures (e.g. Figure 5.1 and Figures
 // 5.2–5.4) do not repeat work.
+//
+// Runs are independent, seeded, and deterministic, so the harness executes
+// them on a worker pool: runners plan their full configuration set up front
+// and submit it as one batch (RunConfigs), and the memo cache is guarded by
+// a mutex with in-flight deduplication so concurrent requests for the same
+// configuration — within one batch or across racing experiments — execute
+// exactly once. Results are always returned in input order, and every run
+// owns its own seeded simulator, so parallel output is byte-identical to
+// serial output.
 package experiment
 
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"oodb/internal/engine"
 )
@@ -33,7 +46,12 @@ type Options struct {
 	// and averages the measurements — standard simulation methodology for
 	// smoothing a single run's noise. Default 1.
 	Replications int
-	// Verbose, when non-nil, receives progress lines.
+	// Workers bounds how many simulation runs execute concurrently in the
+	// batch APIs (RunConfigs, RunAll) and across replications. Zero means
+	// runtime.GOMAXPROCS(0); 1 forces serial execution.
+	Workers int
+	// Verbose, when non-nil, receives progress lines. The harness
+	// serializes calls, so the callback needs no locking of its own.
 	Verbose func(string)
 }
 
@@ -55,18 +73,49 @@ func (o Options) withDefaults() Options {
 	if o.Replications <= 0 {
 		o.Replications = 1
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
-// Harness runs simulations with memoization.
+// Harness runs simulations with memoization. It is safe for concurrent use:
+// the memo cache is mutex-guarded, and an in-flight table deduplicates
+// concurrent requests for the same configuration (singleflight), so a run
+// shared by overlapping figures executes exactly once even when the figures
+// race.
 type Harness struct {
-	opt   Options
-	cache map[string]engine.Results
+	opt Options
+
+	mu       sync.Mutex
+	cache    map[string]engine.Results
+	inflight map[string]*inflightRun
+
+	// sem bounds concurrent engine executions across all batch calls and
+	// replication fan-outs; it is sized by Options.Workers.
+	sem chan struct{}
+
+	verboseMu sync.Mutex
+	executed  atomic.Int64 // actual engine runs, for tests and benchmarks
+}
+
+// inflightRun is a singleflight slot: the first requester of a configuration
+// executes it, later requesters block on done and share the result.
+type inflightRun struct {
+	done chan struct{}
+	res  engine.Results
+	err  error
 }
 
 // NewHarness returns a harness for the given options.
 func NewHarness(opt Options) *Harness {
-	return &Harness{opt: opt.withDefaults(), cache: make(map[string]engine.Results)}
+	o := opt.withDefaults()
+	return &Harness{
+		opt:      o,
+		cache:    make(map[string]engine.Results),
+		inflight: make(map[string]*inflightRun),
+		sem:      make(chan struct{}, o.Workers),
+	}
 }
 
 // Options returns the harness options (with defaults applied).
@@ -87,33 +136,179 @@ func key(cfg engine.Config) string {
 }
 
 // Run simulates cfg (memoized), averaging over the configured number of
-// replications (consecutive seeds).
+// replications (consecutive seeds). It is safe to call from multiple
+// goroutines: concurrent requests for the same configuration are
+// deduplicated so the simulation executes once and all callers share the
+// result.
 func (h *Harness) Run(cfg engine.Config) (engine.Results, error) {
 	k := key(cfg)
+	h.mu.Lock()
 	if r, ok := h.cache[k]; ok {
+		h.mu.Unlock()
 		return r, nil
 	}
-	if h.opt.Verbose != nil {
-		h.opt.Verbose("run " + cfg.Label())
+	if f, ok := h.inflight[k]; ok {
+		// Another goroutine is already running this configuration; wait
+		// for it rather than duplicating the work.
+		h.mu.Unlock()
+		<-f.done
+		return f.res, f.err
 	}
-	reps := make([]engine.Results, 0, h.opt.Replications)
-	for i := 0; i < h.opt.Replications; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(i)
-		e, err := engine.New(c)
-		if err != nil {
-			return engine.Results{}, err
-		}
-		r, err := e.Run()
-		if err != nil {
-			return engine.Results{}, err
-		}
-		reps = append(reps, r)
+	f := &inflightRun{done: make(chan struct{})}
+	h.inflight[k] = f
+	h.mu.Unlock()
+
+	f.res, f.err = h.runUncached(cfg)
+
+	h.mu.Lock()
+	if f.err == nil {
+		h.cache[k] = f.res
 	}
-	r := averageResults(reps)
-	h.cache[k] = r
-	return r, nil
+	delete(h.inflight, k)
+	h.mu.Unlock()
+	close(f.done)
+	return f.res, f.err
 }
+
+// runUncached executes all replications of cfg. Replications run on their
+// own goroutines (bounded, like every engine execution, by the worker
+// semaphore) and are averaged in seed order, so the result is independent of
+// completion order.
+func (h *Harness) runUncached(cfg engine.Config) (engine.Results, error) {
+	h.progress("run " + cfg.Label())
+	n := h.opt.Replications
+	if n == 1 {
+		return h.runOne(cfg)
+	}
+	reps := make([]engine.Results, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cfg
+			c.Seed = cfg.Seed + int64(i)
+			reps[i], errs[i] = h.runOne(c)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return engine.Results{}, err
+		}
+	}
+	return averageResults(reps), nil
+}
+
+// runOne executes a single simulation, holding a worker-semaphore slot for
+// the duration. Only runOne acquires the semaphore — callers never hold a
+// slot while waiting on other runs, so fan-out cannot deadlock.
+func (h *Harness) runOne(cfg engine.Config) (engine.Results, error) {
+	h.sem <- struct{}{}
+	defer func() { <-h.sem }()
+	h.executed.Add(1)
+	e, err := engine.New(cfg)
+	if err != nil {
+		return engine.Results{}, err
+	}
+	return e.Run()
+}
+
+// progress emits a Verbose line; calls are serialized so concurrent runs do
+// not interleave output.
+func (h *Harness) progress(line string) {
+	if h.opt.Verbose == nil {
+		return
+	}
+	h.verboseMu.Lock()
+	defer h.verboseMu.Unlock()
+	h.opt.Verbose(line)
+}
+
+// Executed returns the number of engine runs actually performed (cache and
+// in-flight hits excluded).
+func (h *Harness) Executed() int64 { return h.executed.Load() }
+
+// RunConfigs executes a batch of configurations on the worker pool and
+// returns their results in input order. Duplicate configurations in one
+// batch — or concurrently submitted by another batch — run once and share
+// the result. The first error (by input order) is returned; a failing
+// configuration does not cancel the others.
+func (h *Harness) RunConfigs(cfgs []engine.Config) ([]engine.Results, error) {
+	out := make([]engine.Results, len(cfgs))
+	errs := make([]error, len(cfgs))
+	w := h.opt.Workers
+	if w > len(cfgs) {
+		w = len(cfgs)
+	}
+	if w <= 1 {
+		for i, cfg := range cfgs {
+			out[i], errs[i] = h.Run(cfg)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for j := 0; j < w; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					out[i], errs[i] = h.Run(cfgs[i])
+				}
+			}()
+		}
+		for i := range cfgs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunAll looks up and runs several experiments over the shared harness,
+// returning their tables in input order. Experiments run concurrently on the
+// worker pool; the in-flight deduplication guarantees a simulation shared by
+// overlapping figures (Figure 5.1's grid reappears in Figures 5.2–5.4)
+// executes once no matter which experiment requests it first.
+func (h *Harness) RunAll(ids []string) ([]*Table, error) {
+	runners := make([]Runner, len(ids))
+	for i, id := range ids {
+		r, ok := Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown id %q", id)
+		}
+		runners[i] = r
+	}
+	tables := make([]*Table, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i := range runners {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tables[i], errs[i] = runners[i](h)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ids[i], err)
+		}
+	}
+	return tables, nil
+}
+
+// roundCount converts an averaged count to an integer, rounding half-up
+// (averaged counts are never negative). Truncation would bias every averaged
+// count downward by half a unit in expectation.
+func roundCount(x float64) int { return int(math.Floor(x + 0.5)) }
 
 // averageResults averages the measurement fields the experiment runners
 // consume across replications. Configuration and count fields come from the
@@ -150,16 +345,49 @@ func averageResults(rs []engine.Results) engine.Results {
 	out.ReadResponse = read / n
 	out.WriteResponse = write / n
 	out.HitRatio = hit / n
-	out.Completed = int(completed / n)
-	out.LogIOs = int(logIOs / n)
-	out.Log.BeforeImageIOs = int(beforeImg / n)
-	out.Log.BufferFlushes = int(bufFlush / n)
-	out.PhysReads = int(physR / n)
-	out.PhysWrites = int(physW / n)
+	out.Completed = roundCount(completed / n)
+	out.LogIOs = roundCount(logIOs / n)
+	out.Log.BeforeImageIOs = roundCount(beforeImg / n)
+	out.Log.BufferFlushes = roundCount(bufFlush / n)
+	out.PhysReads = roundCount(physR / n)
+	out.PhysWrites = roundCount(physW / n)
 	out.Cluster.GreedyCutTotal = gCut / n
 	out.Cluster.OptimalCutTotal = oCut / n
-	out.Cluster.SplitsCompared = int(splitsCmp / n)
+	out.Cluster.SplitsCompared = roundCount(splitsCmp / n)
 	return out
+}
+
+// runBatch collects planned configurations and per-result consumers so a
+// runner keeps its natural loop structure while submitting every simulation
+// as one parallel batch. Consumers run sequentially in submission order
+// after the whole batch completes, so table assembly stays deterministic
+// regardless of which worker finishes first.
+type runBatch struct {
+	h     *Harness
+	cfgs  []engine.Config
+	sinks []func(engine.Results)
+}
+
+// batch starts an empty run batch on the harness.
+func (h *Harness) batch() *runBatch { return &runBatch{h: h} }
+
+// add plans one simulation; sink receives its result during run.
+func (b *runBatch) add(cfg engine.Config, sink func(engine.Results)) {
+	b.cfgs = append(b.cfgs, cfg)
+	b.sinks = append(b.sinks, sink)
+}
+
+// run executes the planned configurations on the worker pool and feeds each
+// consumer its result, in submission order.
+func (b *runBatch) run() error {
+	res, err := b.h.RunConfigs(b.cfgs)
+	if err != nil {
+		return err
+	}
+	for i, sink := range b.sinks {
+		sink(res[i])
+	}
+	return nil
 }
 
 // Table is a rendered experiment result: one row per x-axis point, one

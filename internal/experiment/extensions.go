@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"oodb/internal/core"
+	"oodb/internal/engine"
 	"oodb/internal/workload"
 )
 
@@ -28,21 +29,23 @@ func ExtBufferSize(h *Harness) (*Table, error) {
 		Unit:    "s (mean response time)",
 		Columns: []string{"LRU", "Context-sensitive"},
 	}
+	b := h.batch()
 	for _, paperFrames := range []int{100, 1000, 10000} {
-		row := Row{Label: fmt.Sprintf("%d", paperFrames)}
+		ri := len(t.Rows)
+		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%d", paperFrames)})
 		for _, repl := range []core.Replacement{core.ReplLRU, core.ReplContext} {
 			cfg := h.bufferingBase()
 			cfg.Density = workload.MedDensity
 			cfg.ReadWriteRatio = 10
 			cfg.Replacement = repl
 			cfg.Buffers = clampBuffers(paperFrames, h.opt.Scale)
-			r, err := h.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			row.Cells = append(row.Cells, r.MeanResponse)
+			b.add(cfg, func(r engine.Results) {
+				t.Rows[ri].Cells = append(t.Rows[ri].Cells, r.MeanResponse)
+			})
 		}
-		t.Rows = append(t.Rows, row)
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -68,6 +71,7 @@ func ExtAdaptive(h *Harness) (*Table, error) {
 		cluster  core.ClusterPolicy
 		adaptive bool
 	}
+	b := h.batch()
 	for _, v := range []variant{
 		{"2_IO_limit", core.PolicyIOLimit2, false},
 		{"No_limit", core.PolicyNoLimit, false},
@@ -78,14 +82,14 @@ func ExtAdaptive(h *Harness) (*Table, error) {
 		cfg.Cluster = v.cluster
 		cfg.PhasedRW = phases
 		cfg.AdaptiveClustering = v.adaptive
-		r, err := h.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, Row{
-			Label: v.label,
-			Cells: []float64{r.MeanResponse, r.ReadResponse, r.WriteResponse},
+		ri := len(t.Rows)
+		t.Rows = append(t.Rows, Row{Label: v.label})
+		b.add(cfg, func(r engine.Results) {
+			t.Rows[ri].Cells = []float64{r.MeanResponse, r.ReadResponse, r.WriteResponse}
 		})
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -101,9 +105,11 @@ func ExtHints(h *Harness) (*Table, error) {
 		Unit:    "s (mean response time)",
 		Columns: []string{"No_hint", "User_hint"},
 	}
+	b := h.batch()
 	for _, d := range workload.Densities {
 		for _, rw := range []float64{5, 100} {
-			row := Row{Label: fmt.Sprintf("%s-%g", d.Short(), rw)}
+			ri := len(t.Rows)
+			t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%s-%g", d.Short(), rw)})
 			for _, hp := range []core.HintPolicy{core.NoHints, core.UserHints} {
 				cfg := h.bufferingBase()
 				cfg.Density = d
@@ -111,14 +117,14 @@ func ExtHints(h *Harness) (*Table, error) {
 				cfg.Replacement = core.ReplContext
 				cfg.Prefetch = core.PrefetchWithinDB
 				cfg.Hints = hp
-				r, err := h.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				row.Cells = append(row.Cells, r.MeanResponse)
+				b.add(cfg, func(r engine.Results) {
+					t.Rows[ri].Cells = append(t.Rows[ri].Cells, r.MeanResponse)
+				})
 			}
-			t.Rows = append(t.Rows, row)
 		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -140,6 +146,7 @@ func ExtAblationSibling(h *Harness) (*Table, error) {
 		Unit:    "s / ratio",
 		Columns: []string{"mean", "read", "hit"},
 	}
+	b := h.batch()
 	for _, v := range []struct {
 		label string
 		off   bool
@@ -149,12 +156,14 @@ func ExtAblationSibling(h *Harness) (*Table, error) {
 		cfg.ReadWriteRatio = 100
 		cfg.Cluster = core.PolicyNoLimit
 		cfg.NoSiblingCandidates = v.off
-		r, err := h.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, Row{Label: v.label,
-			Cells: []float64{r.MeanResponse, r.ReadResponse, r.HitRatio}})
+		ri := len(t.Rows)
+		t.Rows = append(t.Rows, Row{Label: v.label})
+		b.add(cfg, func(r engine.Results) {
+			t.Rows[ri].Cells = []float64{r.MeanResponse, r.ReadResponse, r.HitRatio}
+		})
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -170,22 +179,25 @@ func ExtAblationBoost(h *Harness) (*Table, error) {
 		Unit:    "s / ratio",
 		Columns: []string{"mean", "hit"},
 	}
+	b := h.batch()
 	for _, limit := range []int{-1, 2, 4, 8} {
 		cfg := h.bufferingBase()
 		cfg.Density = workload.HighDensity
 		cfg.ReadWriteRatio = 100
 		cfg.Replacement = core.ReplContext
 		cfg.ContextBoostLimit = limit
-		r, err := h.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
 		label := fmt.Sprintf("%d", limit)
 		if limit < 0 {
 			label = "off"
 		}
-		t.Rows = append(t.Rows, Row{Label: label,
-			Cells: []float64{r.MeanResponse, r.HitRatio}})
+		ri := len(t.Rows)
+		t.Rows = append(t.Rows, Row{Label: label})
+		b.add(cfg, func(r engine.Results) {
+			t.Rows[ri].Cells = []float64{r.MeanResponse, r.HitRatio}
+		})
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -85,16 +85,21 @@ func clampBuffers(paper int, scale float64) int {
 	return b
 }
 
-// factorialResponses runs all 2^8 level combinations and returns the mean
-// response times indexed by level bitmask.
+// factorialResponses runs all 2^8 level combinations — embarrassingly
+// parallel, submitted as one batch — and returns the mean response times
+// indexed by level bitmask.
 func (h *Harness) factorialResponses(d *factorial.Design) ([]float64, error) {
 	n := d.Runs()
-	y := make([]float64, n)
+	cfgs := make([]engine.Config, n)
 	for m := 0; m < n; m++ {
-		r, err := h.Run(h.factorialConfig(uint(m)))
-		if err != nil {
-			return nil, err
-		}
+		cfgs[m] = h.factorialConfig(uint(m))
+	}
+	res, err := h.RunConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	y := make([]float64, n)
+	for m, r := range res {
 		y[m] = r.MeanResponse
 	}
 	return y, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"oodb/internal/core"
+	"oodb/internal/engine"
 	"oodb/internal/workload"
 )
 
@@ -26,23 +27,25 @@ func Fig59(h *Harness) (*Table, error) {
 		Unit:    "s (mean response time)",
 		Columns: splitColumns,
 	}
+	b := h.batch()
 	for _, d := range workload.Densities {
 		for _, rw := range rwLevels {
-			row := Row{Label: fmt.Sprintf("%s-%g", d.Short(), rw)}
+			ri := len(t.Rows)
+			t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%s-%g", d.Short(), rw)})
 			for _, sp := range splitPolicies {
 				cfg := h.clusteringBase()
 				cfg.Cluster = core.PolicyNoLimit
 				cfg.Density = d
 				cfg.ReadWriteRatio = rw
 				cfg.Split = sp
-				r, err := h.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				row.Cells = append(row.Cells, r.MeanResponse)
+				b.add(cfg, func(r engine.Results) {
+					t.Rows[ri].Cells = append(t.Rows[ri].Cells, r.MeanResponse)
+				})
 			}
-			t.Rows = append(t.Rows, row)
 		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"paper: no-splitting wins at low R/W; linear split best at high R/W + high density; NP and linear similar at low density; splitting has little influence overall (Fig 6.1)")
@@ -62,6 +65,7 @@ func Fig510(h *Harness) (*Table, error) {
 		Unit:    "summed cut-cost (frequency units)",
 		Columns: []string{"Linear_cut", "NP_cut", "difference", "splits"},
 	}
+	b := h.batch()
 	for _, d := range workload.Densities {
 		for _, rw := range rwLevels {
 			cfg := h.clusteringBase()
@@ -69,20 +73,20 @@ func Fig510(h *Harness) (*Table, error) {
 			cfg.Density = d
 			cfg.ReadWriteRatio = rw
 			cfg.Split = core.NPSplit
-			r, err := h.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			cs := r.Cluster
-			t.Rows = append(t.Rows, Row{
-				Label: fmt.Sprintf("%s-%g", d.Short(), rw),
-				Cells: []float64{
+			ri := len(t.Rows)
+			t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("%s-%g", d.Short(), rw)})
+			b.add(cfg, func(r engine.Results) {
+				cs := r.Cluster
+				t.Rows[ri].Cells = []float64{
 					cs.GreedyCutTotal, cs.OptimalCutTotal,
 					cs.GreedyCutTotal - cs.OptimalCutTotal,
 					float64(cs.SplitsCompared),
-				},
+				}
 			})
 		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"NP_Split always finds the minimum-cost partition; the difference is the cost the linear heuristic gives up",

@@ -8,10 +8,16 @@
 // (such as a transaction walking through its logical operations) are written
 // as resumable state machines whose steps re-schedule themselves via station
 // completion callbacks.
+//
+// The event calendar is an inlined typed binary heap rather than
+// container/heap: Push/Pop through the standard interface box every event
+// through interface{}, allocating once per scheduled event on the hottest
+// path of the whole simulator. The typed heap keeps events in a reusable
+// backing slice, so scheduling and dispatch are allocation-free in steady
+// state (see BenchmarkEventCalendar).
 package sim
 
 import (
-	"container/heap"
 	"hash/fnv"
 	"math"
 	"math/rand"
@@ -26,28 +32,71 @@ type event struct {
 	fn  func()
 }
 
+// before reports whether e fires before o: earlier time first, scheduling
+// order breaking ties so simultaneous events run FIFO.
+func (e event) before(o event) bool {
+	if e.t != o.t {
+		return e.t < o.t
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a typed binary min-heap of events. It deliberately does not
+// implement container/heap's interface: the interface{} boxing on Push/Pop
+// costs one allocation per event. The backing slice's capacity is reused
+// across push/pop cycles, so a warmed-up calendar schedules without
+// allocating.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// push adds e, sifting it up to its heap position.
+func (h *eventHeap) push(e event) {
+	ev := append(*h, e)
+	i := len(ev) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !ev[i].before(ev[p]) {
+			break
+		}
+		ev[i], ev[p] = ev[p], ev[i]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	*h = ev
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// pop removes and returns the earliest event. The vacated slot is zeroed so
+// the calendar does not pin the event's closure for the garbage collector,
+// and the slice is shrunk in place to keep its capacity.
+func (h *eventHeap) pop() event {
+	ev := *h
+	top := ev[0]
+	n := len(ev) - 1
+	ev[0] = ev[n]
+	ev[n] = event{}
+	ev = ev[:n]
+	// Sift the relocated last element down to restore heap order.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && ev[l].before(ev[least]) {
+			least = l
+		}
+		if r < n && ev[r].before(ev[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		ev[i], ev[least] = ev[least], ev[i]
+		i = least
+	}
+	*h = ev
+	return top
 }
 
 // Sim is a discrete-event simulator. Create one with New; it is not safe for
 // concurrent use (the model is single-threaded by design so that runs are
-// deterministic).
+// deterministic — parallel experiments give each goroutine its own Sim).
 type Sim struct {
 	now    Time
 	events eventHeap
@@ -74,7 +123,7 @@ func (s *Sim) At(t Time, fn func()) {
 		panic("sim: scheduling event in the past")
 	}
 	s.seq++
-	heap.Push(&s.events, event{t: t, seq: s.seq, fn: fn})
+	s.events.push(event{t: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d seconds from now. Negative delays are clamped
@@ -91,7 +140,7 @@ func (s *Sim) After(d Time, fn func()) {
 func (s *Sim) Run(until Time) int {
 	n := 0
 	for len(s.events) > 0 && s.events[0].t <= until {
-		e := heap.Pop(&s.events).(event)
+		e := s.events.pop()
 		s.now = e.t
 		e.fn()
 		n++

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -221,6 +222,71 @@ func TestStationZeroService(t *testing.T) {
 	s.RunAll()
 	if !fired || s.Now() != 0 {
 		t.Fatalf("zero-service request mishandled: now=%v", s.Now())
+	}
+}
+
+// The typed heap must dispatch any scheduling pattern in nondecreasing
+// (time, seq) order — exercised with an adversarial random insert mix.
+func TestHeapOrderingRandomized(t *testing.T) {
+	s := New(1)
+	r := rand.New(rand.NewSource(7))
+	var fired []Time
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		// Nested scheduling stresses pop-then-push interleavings.
+		if depth > 0 && r.Intn(3) == 0 {
+			s.After(r.Float64(), func() { fired = append(fired, s.Now()); schedule(depth - 1) })
+			return
+		}
+		s.After(r.Float64()*10, func() { fired = append(fired, s.Now()) })
+	}
+	for i := 0; i < 500; i++ {
+		schedule(3)
+	}
+	s.RunAll()
+	if len(fired) < 500 {
+		t.Fatalf("fired %d events", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("out of order at %d: %v after %v", i, fired[i], fired[i-1])
+		}
+	}
+}
+
+// The calendar's backing slice must be reused rather than reallocated once
+// it has grown to the model's working set.
+func TestHeapCapacityReuse(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 64; i++ {
+		s.After(float64(i), func() {})
+	}
+	s.RunAll()
+	grown := cap(s.events)
+	if grown < 64 {
+		t.Fatalf("cap=%d after 64 events", grown)
+	}
+	// A second wave of the same size must fit in the retained capacity.
+	for i := 0; i < 64; i++ {
+		s.After(float64(i), func() {})
+	}
+	if cap(s.events) != grown {
+		t.Fatalf("cap grew from %d to %d on reuse", grown, cap(s.events))
+	}
+	s.RunAll()
+}
+
+// Popped slots must not pin completed closures: the tail slot is zeroed.
+func TestHeapReleasesClosures(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 8; i++ {
+		s.After(float64(i), func() {})
+	}
+	s.RunAll()
+	for i, e := range s.events[:cap(s.events)] {
+		if e.fn != nil {
+			t.Fatalf("slot %d still holds a closure after drain", i)
+		}
 	}
 }
 

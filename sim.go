@@ -35,6 +35,15 @@ func RunSimulation(cfg SimConfig) (SimResults, error) {
 	return e.Run()
 }
 
+// RunSimulations executes a batch of simulation runs on a worker pool
+// (opt.Workers wide, default GOMAXPROCS) and returns results in input
+// order. Each run owns its own seeded simulator, so the results are
+// identical to running the batch serially; duplicate configurations execute
+// once and share their result.
+func RunSimulations(cfgs []SimConfig, opt ExperimentOptions) ([]SimResults, error) {
+	return experiment.NewHarness(opt).RunConfigs(cfgs)
+}
+
 // Experiments lists the available experiment IDs ("fig3.2" ... "fig6.2",
 // "table5.1", "ext.*").
 func Experiments() []string { return experiment.IDs() }
@@ -50,22 +59,16 @@ func RunExperiment(id string, opt ExperimentOptions) (*ExperimentTable, error) {
 
 // RunExperiments regenerates several experiments over one shared harness,
 // so simulation runs that appear in multiple figures (for example the
-// Figure 5.1 grid cells reused by Figures 5.2–5.4) execute once.
+// Figure 5.1 grid cells reused by Figures 5.2–5.4) execute once. The
+// experiments run concurrently on the harness worker pool; tables come back
+// in input order and match serial execution byte for byte.
 func RunExperiments(ids []string, opt ExperimentOptions) ([]*ExperimentTable, error) {
-	h := experiment.NewHarness(opt)
-	out := make([]*ExperimentTable, 0, len(ids))
 	for _, id := range ids {
-		r, ok := experiment.Lookup(id)
-		if !ok {
-			return out, &UnknownExperimentError{ID: id}
+		if _, ok := experiment.Lookup(id); !ok {
+			return nil, &UnknownExperimentError{ID: id}
 		}
-		tb, err := r(h)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, tb)
 	}
-	return out, nil
+	return experiment.NewHarness(opt).RunAll(ids)
 }
 
 // UnknownExperimentError reports an unregistered experiment ID.
