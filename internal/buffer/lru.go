@@ -1,10 +1,6 @@
 package buffer
 
-import (
-	"container/list"
-
-	"oodb/internal/storage"
-)
+import "oodb/internal/storage"
 
 // LRU is the classic least-recently-used replacement policy — the paper's
 // "native" baseline whose weakness (evicting structurally related pages and
@@ -13,14 +9,18 @@ import (
 // Boosted pages are treated as touched: moving a page to the MRU end is the
 // only priority mechanism LRU has, which is exactly how the paper's
 // "prefetch within buffer pool" interacts with an LRU pool.
+//
+// The recency order lives in an intrusive PageList whose nodes recycle
+// through a free list, so the steady-state Admitted/Touched/Removed cycle
+// allocates nothing.
 type LRU struct {
-	order *list.List // front = MRU, back = LRU
-	pos   map[storage.PageID]*list.Element
+	order PageList // front = MRU, back = LRU
+	pos   map[storage.PageID]int32
 }
 
 // NewLRU returns an empty LRU policy.
 func NewLRU() *LRU {
-	return &LRU{order: list.New(), pos: make(map[storage.PageID]*list.Element)}
+	return &LRU{pos: make(map[storage.PageID]int32)}
 }
 
 // Name implements Policy.
@@ -33,8 +33,8 @@ func (l *LRU) Admitted(pg storage.PageID) {
 
 // Touched implements Policy.
 func (l *LRU) Touched(pg storage.PageID) {
-	if e, ok := l.pos[pg]; ok {
-		l.order.MoveToFront(e)
+	if h, ok := l.pos[pg]; ok {
+		l.order.MoveToFront(h)
 	}
 }
 
@@ -43,16 +43,16 @@ func (l *LRU) Boosted(pg storage.PageID) { l.Touched(pg) }
 
 // Removed implements Policy.
 func (l *LRU) Removed(pg storage.PageID) {
-	if e, ok := l.pos[pg]; ok {
-		l.order.Remove(e)
+	if h, ok := l.pos[pg]; ok {
+		l.order.Remove(h)
 		delete(l.pos, pg)
 	}
 }
 
 // Victim implements Policy: the least recently used unpinned page.
 func (l *LRU) Victim(pinned func(storage.PageID) bool) (storage.PageID, bool) {
-	for e := l.order.Back(); e != nil; e = e.Prev() {
-		pg := e.Value.(storage.PageID)
+	for h := l.order.Back(); h != 0; h = l.order.Prev(h) {
+		pg := l.order.Page(h)
 		if pinned == nil || !pinned(pg) {
 			return pg, true
 		}

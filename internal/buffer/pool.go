@@ -67,10 +67,15 @@ func (s Stats) HitRatio() float64 {
 }
 
 // Pool is the buffer pool.
+//
+// Frames are stored by value in the resident table and the pinned-page
+// probe handed to Policy.Victim is bound once at construction, so the
+// steady-state access/evict cycle allocates nothing.
 type Pool struct {
 	capacity int
 	policy   Policy
-	resident map[storage.PageID]*frame
+	resident map[storage.PageID]frame
+	pinnedFn func(storage.PageID) bool // p.pinned, bound once
 	stats    Stats
 }
 
@@ -88,11 +93,13 @@ func NewPool(capacity int, policy Policy) *Pool {
 	if capacity < 1 {
 		panic("buffer: capacity must be at least 1")
 	}
-	return &Pool{
+	p := &Pool{
 		capacity: capacity,
 		policy:   policy,
-		resident: make(map[storage.PageID]*frame, capacity),
+		resident: make(map[storage.PageID]frame, capacity),
 	}
+	p.pinnedFn = p.pinned
+	return p
 }
 
 // Capacity returns the frame count.
@@ -117,8 +124,30 @@ func (p *Pool) Stats() Stats { return p.stats }
 func (p *Pool) ResetStats() { p.stats = Stats{} }
 
 func (p *Pool) pinned(pg storage.PageID) bool {
-	f := p.resident[pg]
-	return f != nil && f.pins > 0
+	return p.resident[pg].pins > 0
+}
+
+// admit evicts if the pool is full (recording the victim in res) and makes
+// pg resident.
+func (p *Pool) admit(pg storage.PageID, res *AccessResult) error {
+	if len(p.resident) >= p.capacity {
+		victim, ok := p.policy.Victim(p.pinnedFn)
+		if !ok {
+			return ErrAllPinned
+		}
+		vf := p.resident[victim]
+		res.Victim = victim
+		res.VictimDirty = vf.dirty
+		if vf.dirty {
+			p.stats.Flushes++
+		}
+		p.stats.Evictions++
+		delete(p.resident, victim)
+		p.policy.Removed(victim)
+	}
+	p.resident[pg] = frame{}
+	p.policy.Admitted(pg)
+	return nil
 }
 
 // Access brings pg into the pool (if needed) and touches it. The result
@@ -134,23 +163,9 @@ func (p *Pool) Access(pg storage.PageID) (AccessResult, error) {
 	}
 	p.stats.Misses++
 	res := AccessResult{}
-	if len(p.resident) >= p.capacity {
-		victim, ok := p.policy.Victim(p.pinned)
-		if !ok {
-			return res, ErrAllPinned
-		}
-		vf := p.resident[victim]
-		res.Victim = victim
-		res.VictimDirty = vf.dirty
-		if vf.dirty {
-			p.stats.Flushes++
-		}
-		p.stats.Evictions++
-		delete(p.resident, victim)
-		p.policy.Removed(victim)
+	if err := p.admit(pg, &res); err != nil {
+		return res, err
 	}
-	p.resident[pg] = &frame{}
-	p.policy.Admitted(pg)
 	return res, nil
 }
 
@@ -168,23 +183,9 @@ func (p *Pool) Install(pg storage.PageID) (AccessResult, error) {
 		return AccessResult{Hit: true}, nil
 	}
 	res := AccessResult{}
-	if len(p.resident) >= p.capacity {
-		victim, ok := p.policy.Victim(p.pinned)
-		if !ok {
-			return res, ErrAllPinned
-		}
-		vf := p.resident[victim]
-		res.Victim = victim
-		res.VictimDirty = vf.dirty
-		if vf.dirty {
-			p.stats.Flushes++
-		}
-		p.stats.Evictions++
-		delete(p.resident, victim)
-		p.policy.Removed(victim)
+	if err := p.admit(pg, &res); err != nil {
+		return res, err
 	}
-	p.resident[pg] = &frame{}
-	p.policy.Admitted(pg)
 	return res, nil
 }
 
@@ -196,6 +197,7 @@ func (p *Pool) MarkDirty(pg storage.PageID) error {
 		return fmt.Errorf("buffer: MarkDirty on non-resident page %d", pg)
 	}
 	f.dirty = true
+	p.resident[pg] = f
 	return nil
 }
 
@@ -209,6 +211,7 @@ func (p *Pool) IsDirty(pg storage.PageID) bool {
 func (p *Pool) Clean(pg storage.PageID) {
 	if f, ok := p.resident[pg]; ok {
 		f.dirty = false
+		p.resident[pg] = f
 	}
 }
 
@@ -229,6 +232,7 @@ func (p *Pool) Pin(pg storage.PageID) error {
 		return fmt.Errorf("buffer: Pin on non-resident page %d", pg)
 	}
 	f.pins++
+	p.resident[pg] = f
 	return nil
 }
 
@@ -242,6 +246,7 @@ func (p *Pool) Unpin(pg storage.PageID) error {
 		return fmt.Errorf("buffer: Unpin on unpinned page %d", pg)
 	}
 	f.pins--
+	p.resident[pg] = f
 	return nil
 }
 

@@ -22,6 +22,18 @@ func BenchmarkBuildPartGraph(b *testing.B) {
 	}
 }
 
+// BenchmarkPartGraphBuildReuse is the split hot path as the clusterer runs
+// it: rebuilding the partition graph in place over retained scratch.
+func BenchmarkPartGraphBuildReuse(b *testing.B) {
+	g, ids := benchGraph(20)
+	var pg PartGraph
+	pg.Build(g, ids)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg.Build(g, ids)
+	}
+}
+
 func BenchmarkGreedySplit(b *testing.B) {
 	g, ids := benchGraph(20)
 	pg := BuildPartGraph(g, ids)
@@ -99,6 +111,35 @@ func BenchmarkPlaceNew(b *testing.B) {
 		if _, err := c.PlaceNew(o); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkReclusterDecision measures the steady-state reclustering
+// decision with no resulting move: candidate ranking, candidate-pool
+// inspection, and affinity scoring — the path the clusterer's scratch
+// struct makes allocation-free.
+func BenchmarkReclusterDecision(b *testing.B) {
+	c, _, _, leaf := allocFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := c.Recluster(leaf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pl.Moved {
+			b.Fatal("fixture must not move")
+		}
+	}
+}
+
+// BenchmarkContextBoostPages measures the per-access related-page
+// computation the context-sensitive replacement policy runs.
+func BenchmarkContextBoostPages(b *testing.B) {
+	_, g, st, leaf := allocFixture(b)
+	dst := make([]storage.PageID, 0, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = AppendContextBoostPages(dst[:0], g, st, leaf, ContextNeighborLimit)
 	}
 }
 

@@ -28,6 +28,10 @@ type ClusterStats struct {
 
 // Placement describes the outcome of a placement or reclustering action so
 // the engine can charge I/Os, mark pages dirty, and log.
+//
+// The IOs and DirtyPages slices are backed by the clusterer's reusable
+// scratch buffers: they are valid until the next PlaceNew/Recluster call on
+// the same clusterer. Callers that need them longer must copy.
 type Placement struct {
 	// IOs are the physical I/Os the action triggered, in order.
 	IOs []PhysIO
@@ -75,6 +79,39 @@ type Clusterer struct {
 	frontier storage.PageID // sequential fill page (No_Cluster placements)
 	spill    storage.PageID // fallback fill page for non-composite loners
 	stats    ClusterStats
+	scr      clusterScratch
+}
+
+// clusterScratch holds the per-placement working buffers the hot path
+// reuses: candidate and sibling page lists, the physical-I/O and dirty-page
+// accumulators handed out through Placement, and the partition graph the
+// split machinery rebuilds in place. One placement at a time runs per
+// clusterer, so a single scratch suffices.
+type clusterScratch struct {
+	cand  []storage.PageID // candidate pages, in ranked order
+	local []storage.PageID // per-tier distinct-page gathering buffer
+	ios   []PhysIO         // Placement.IOs backing store
+	dirty []storage.PageID // Placement.DirtyPages backing store
+	ids   []model.ObjectID // split candidate object set
+	part  PartGraph        // split partition graph, rebuilt in place
+}
+
+// keepIOs records the (possibly regrown) I/O buffer for reuse and hands it
+// out as a Placement's IOs.
+func (c *Clusterer) keepIOs(ios []PhysIO) []PhysIO {
+	c.scr.ios = ios
+	return ios
+}
+
+// dirty1 and dirty2 fill the reusable dirty-page list.
+func (c *Clusterer) dirty1(a storage.PageID) []storage.PageID {
+	c.scr.dirty = append(c.scr.dirty[:0], a)
+	return c.scr.dirty
+}
+
+func (c *Clusterer) dirty2(a, b storage.PageID) []storage.PageID {
+	c.scr.dirty = append(c.scr.dirty[:0], a, b)
+	return c.scr.dirty
 }
 
 // NewClusterer returns a clusterer with the experiment defaults.
@@ -109,40 +146,76 @@ func (c *Clusterer) ioBudget() int {
 
 // candidatePages ranks the pages of o's structural neighbors by the
 // traversal frequency of the connecting relationship (user hint first when
-// honored).
+// honored). The returned slice is scratch-backed, valid until the next
+// placement. Deduplication is a linear scan over the (MaxCandidates-bounded)
+// candidate list — the old seen-map without the per-call allocation.
 func (c *Clusterer) candidatePages(o *model.Object) []storage.PageID {
-	var out []storage.PageID
-	seen := make(map[storage.PageID]struct{}, 8)
-	for _, kind := range rankedKinds(o, c.Hints, c.Hint) {
+	out := c.scr.cand[:0]
+	own := c.Store.PageOf(o.ID)
+	var kindBuf [model.NumRelKinds]model.RelKind
+	for _, kind := range rankKinds(&kindBuf, o, c.Hints, c.Hint) {
 		if o.Freq[kind] <= 0 && !(c.Hints == UserHints && c.Hint.Active && c.Hint.Kind == kind) {
 			continue
 		}
-		for _, pg := range NeighborPages(c.Graph, c.Store, o, kind, 0) {
-			if _, ok := seen[pg]; ok {
+		for i, cnt := 0, o.NeighborCount(kind); i < cnt; i++ {
+			pg := c.Store.PageOf(o.NeighborAt(kind, i))
+			if pg == storage.NilPage || pg == own {
 				continue
 			}
-			seen[pg] = struct{}{}
+			if containsPage(out, pg) {
+				continue
+			}
 			out = append(out, pg)
 			if len(out) >= c.MaxCandidates {
+				c.scr.cand = out
 				return out
 			}
 		}
 		if kind == model.ConfigUp && !c.NoSiblingCandidates {
 			// Once the composite's own page is in the list, the pages of the
 			// composite's other components are the next best candidates:
-			// siblings are co-retrieved with the composite.
-			for _, pg := range SiblingPages(c.Graph, c.Store, o, c.MaxCandidates) {
-				if _, ok := seen[pg]; ok {
+			// siblings are co-retrieved with the composite. As before, the
+			// sibling tier enumerates at most MaxCandidates distinct sibling
+			// pages (tracked in local), whether or not an earlier tier
+			// already listed them.
+			local := c.scr.local[:0]
+			for _, comp := range o.Composites {
+				co := c.Graph.Object(comp)
+				if co == nil {
 					continue
 				}
-				seen[pg] = struct{}{}
-				out = append(out, pg)
-				if len(out) >= c.MaxCandidates {
-					return out
+				for _, sib := range co.Components {
+					if sib == o.ID {
+						continue
+					}
+					pg := c.Store.PageOf(sib)
+					if pg == storage.NilPage || pg == own {
+						continue
+					}
+					if containsPage(local, pg) {
+						continue
+					}
+					local = append(local, pg)
+					if !containsPage(out, pg) {
+						out = append(out, pg)
+						if len(out) >= c.MaxCandidates {
+							c.scr.local = local
+							c.scr.cand = out
+							return out
+						}
+					}
+					if len(local) >= c.MaxCandidates {
+						break
+					}
+				}
+				if len(local) >= c.MaxCandidates {
+					break
 				}
 			}
+			c.scr.local = local
 		}
 	}
+	c.scr.cand = out
 	return out
 }
 
@@ -166,8 +239,8 @@ func (c *Clusterer) Affinity(o *model.Object, pg storage.PageID) float64 {
 		if w <= 0 {
 			continue
 		}
-		for _, n := range o.Neighbors(kind) {
-			if c.Store.PageOf(n) == pg {
+		for i, cnt := 0, o.NeighborCount(kind); i < cnt; i++ {
+			if c.Store.PageOf(o.NeighborAt(kind, i)) == pg {
 				a += w
 			}
 		}
@@ -195,26 +268,27 @@ func (c *Clusterer) Affinity(o *model.Object, pg storage.PageID) float64 {
 }
 
 // inspect makes candidate page pg available for examination under the
-// candidate-pool policy, spending budget for non-resident pages. It returns
-// the implied I/Os and whether the page may be used.
-func (c *Clusterer) inspect(pg storage.PageID, budget *int) ([]PhysIO, bool, error) {
+// candidate-pool policy, spending budget for non-resident pages. Implied
+// I/Os append to ios; the updated slice is returned along with whether the
+// page may be used.
+func (c *Clusterer) inspect(pg storage.PageID, budget *int, ios []PhysIO) ([]PhysIO, bool, error) {
 	if c.Pool.Contains(pg) {
 		// Examining a resident page is free; hint the buffer manager to keep
 		// it around for the rest of the clustering phase.
 		c.Pool.Boost(pg)
-		return nil, true, nil
+		return ios, true, nil
 	}
 	if *budget <= 0 {
-		return nil, false, nil
+		return ios, false, nil
 	}
 	*budget--
 	c.stats.CandidateIOs++
 	res, err := c.Pool.Access(pg)
 	if err != nil {
-		return nil, false, err
+		return ios, false, err
 	}
 	c.Pool.Boost(pg)
-	return ExpandAccess(res, pg), true, nil
+	return AppendExpandAccess(ios, res, pg), true, nil
 }
 
 // PlaceNew chooses and performs the initial placement of a newly created
@@ -229,27 +303,28 @@ func (c *Clusterer) PlaceNew(o *model.Object) (Placement, error) {
 	ChooseAttrImpls(c.Graph, o, c.AttrCost)
 
 	if c.Policy.Mode == NoCluster {
-		return c.placeFrontier(o, nil)
+		return c.placeFrontier(o, c.scr.ios[:0])
 	}
 
-	var ios []PhysIO
+	ios := c.scr.ios[:0]
 	budget := c.ioBudget()
 	cands := c.candidatePages(o)
 	c.stats.CandidatesSeen += len(cands)
 	for i, pg := range cands {
-		more, usable, err := c.inspect(pg, &budget)
-		ios = append(ios, more...)
+		var usable bool
+		var err error
+		ios, usable, err = c.inspect(pg, &budget, ios)
 		if err != nil {
-			return Placement{IOs: ios}, err
+			return Placement{IOs: c.keepIOs(ios)}, err
 		}
 		if !usable {
 			continue
 		}
 		if c.Store.Fits(o.Size, pg) {
 			if err := c.Store.Place(o.ID, pg); err != nil {
-				return Placement{IOs: ios}, err
+				return Placement{IOs: c.keepIOs(ios)}, err
 			}
-			return Placement{IOs: ios, Page: pg, DirtyPages: []storage.PageID{pg}}, nil
+			return Placement{IOs: c.keepIOs(ios), Page: pg, DirtyPages: c.dirty1(pg)}, nil
 		}
 		// Preferred candidate is full: split it, or recurse to the next best
 		// candidate (Section 2.1 (b)).
@@ -260,7 +335,7 @@ func (c *Clusterer) PlaceNew(o *model.Object) (Placement, error) {
 			}
 			pl, did, err := c.trySplit(o, pg, nextAffinity, ios)
 			if err != nil {
-				return Placement{IOs: ios}, err
+				return Placement{IOs: c.keepIOs(ios)}, err
 			}
 			if did {
 				return pl, nil
@@ -301,13 +376,13 @@ func (c *Clusterer) placeFill(o *model.Object, ios []PhysIO, fill *storage.PageI
 	if *fill != storage.NilPage && c.Store.Fits(o.Size, *fill) {
 		res, err := c.Pool.Access(*fill)
 		if err != nil {
-			return Placement{IOs: ios}, err
+			return Placement{IOs: c.keepIOs(ios)}, err
 		}
-		ios = append(ios, ExpandAccess(res, *fill)...)
+		ios = AppendExpandAccess(ios, res, *fill)
 		if err := c.Store.Place(o.ID, *fill); err != nil {
-			return Placement{IOs: ios}, err
+			return Placement{IOs: c.keepIOs(ios)}, err
 		}
-		return Placement{IOs: ios, Page: *fill, DirtyPages: []storage.PageID{*fill}}, nil
+		return Placement{IOs: c.keepIOs(ios), Page: *fill, DirtyPages: c.dirty1(*fill)}, nil
 	}
 	return c.placeFresh(o, ios, fill)
 }
@@ -317,27 +392,30 @@ func (c *Clusterer) placeFresh(o *model.Object, ios []PhysIO, fill *storage.Page
 	pg := c.Store.AllocatePage()
 	res, err := c.Pool.Install(pg)
 	if err != nil {
-		return Placement{IOs: ios}, err
+		return Placement{IOs: c.keepIOs(ios)}, err
 	}
-	ios = append(ios, ExpandAccess(res, pg)...) // at most a victim flush; Install reads nothing
+	ios = AppendExpandAccess(ios, res, pg) // at most a victim flush; Install reads nothing
 	if n := len(ios); n > 0 && ios[n-1].Kind == ReadIO && ios[n-1].Page == pg {
 		ios = ios[:n-1] // fresh pages have no disk image to read
 	}
 	if err := c.Store.Place(o.ID, pg); err != nil {
-		return Placement{IOs: ios}, err
+		return Placement{IOs: c.keepIOs(ios)}, err
 	}
 	if fill != nil {
 		*fill = pg
 	}
-	return Placement{IOs: ios, Page: pg, DirtyPages: []storage.PageID{pg}}, nil
+	return Placement{IOs: c.keepIOs(ios), Page: pg, DirtyPages: c.dirty1(pg)}, nil
 }
 
 // trySplit evaluates splitting full page pg to admit o, against the
 // alternative of placing o on the next best candidate (whose affinity is
 // given). It performs the split when favorable.
 func (c *Clusterer) trySplit(o *model.Object, pg storage.PageID, nextAffinity float64, ios []PhysIO) (Placement, bool, error) {
-	ids := append([]model.ObjectID{o.ID}, c.Store.ObjectsOn(pg)...)
-	graph := BuildPartGraph(c.Graph, ids)
+	ids := append(c.scr.ids[:0], o.ID)
+	ids = append(ids, c.Store.ObjectsOn(pg)...)
+	c.scr.ids = ids
+	graph := &c.scr.part
+	graph.Build(c.Graph, ids)
 	cap := c.Store.PageSize()
 
 	greedy, gok := GreedySplit(graph, cap)
@@ -378,7 +456,7 @@ func (c *Clusterer) trySplit(o *model.Object, pg storage.PageID, nextAffinity fl
 	if err != nil {
 		return Placement{}, false, err
 	}
-	ios = append(ios, ExpandAccess(res, newPg)...)
+	ios = AppendExpandAccess(ios, res, newPg)
 	if n := len(ios); n > 0 && ios[n-1].Kind == ReadIO && ios[n-1].Page == newPg {
 		ios = ios[:n-1]
 	}
@@ -404,9 +482,9 @@ func (c *Clusterer) trySplit(o *model.Object, pg storage.PageID, nextAffinity fl
 	// page, plus an extra log record (added by the engine via DirtyPages).
 	ios = append(ios, WriteOf(newPg))
 	return Placement{
-		IOs:        ios,
+		IOs:        c.keepIOs(ios),
 		Page:       finalPage,
-		DirtyPages: []storage.PageID{pg, newPg},
+		DirtyPages: c.dirty2(pg, newPg),
 		Split:      true,
 		NewPage:    newPg,
 	}, true, nil
@@ -426,7 +504,7 @@ func (c *Clusterer) Recluster(o *model.Object) (Placement, error) {
 		return Placement{Page: cur}, nil
 	}
 	c.stats.Reclusterings++
-	var ios []PhysIO
+	ios := c.scr.ios[:0]
 	budget := c.ioBudget()
 	curAff := c.Affinity(o, cur)
 	bestPg := storage.NilPage
@@ -435,10 +513,11 @@ func (c *Clusterer) Recluster(o *model.Object) (Placement, error) {
 		if pg == cur {
 			continue
 		}
-		more, usable, err := c.inspect(pg, &budget)
-		ios = append(ios, more...)
+		var usable bool
+		var err error
+		ios, usable, err = c.inspect(pg, &budget, ios)
 		if err != nil {
-			return Placement{IOs: ios, Page: cur}, err
+			return Placement{IOs: c.keepIOs(ios), Page: cur}, err
 		}
 		if !usable || !c.Store.Fits(o.Size, pg) {
 			continue
@@ -448,23 +527,23 @@ func (c *Clusterer) Recluster(o *model.Object) (Placement, error) {
 		}
 	}
 	if bestPg == storage.NilPage {
-		return Placement{IOs: ios, Page: cur}, nil
+		return Placement{IOs: c.keepIOs(ios), Page: cur}, nil
 	}
 	// Moving rewrites both pages; the current page must be resident to take
 	// the object off it.
 	res, err := c.Pool.Access(cur)
 	if err != nil {
-		return Placement{IOs: ios, Page: cur}, err
+		return Placement{IOs: c.keepIOs(ios), Page: cur}, err
 	}
-	ios = append(ios, ExpandAccess(res, cur)...)
+	ios = AppendExpandAccess(ios, res, cur)
 	if err := c.Store.Move(o.ID, bestPg); err != nil {
-		return Placement{IOs: ios, Page: cur}, err
+		return Placement{IOs: c.keepIOs(ios), Page: cur}, err
 	}
 	c.stats.Moves++
 	return Placement{
-		IOs:        ios,
+		IOs:        c.keepIOs(ios),
 		Page:       bestPg,
-		DirtyPages: []storage.PageID{cur, bestPg},
+		DirtyPages: c.dirty2(cur, bestPg),
 		Moved:      true,
 	}, nil
 }

@@ -1,8 +1,7 @@
 package core
 
 import (
-	"container/list"
-
+	"oodb/internal/buffer"
 	"oodb/internal/storage"
 )
 
@@ -25,12 +24,21 @@ import (
 //
 // The protected level is bounded; overflow demotes its least-recently-used
 // page back to probationary, so stale protections age out.
+//
+// Both levels are intrusive buffer.PageLists with pooled, free-listed
+// nodes, and the page index is a value map — the Admitted / Touched /
+// Boosted / Removed cycle allocates nothing at steady state.
 type ContextPolicy struct {
-	capacity int // protected-level bound
-	prot     *list.List
-	prob     *list.List
-	pos      map[storage.PageID]*list.Element
-	inProt   map[storage.PageID]bool
+	capacity int             // protected-level bound
+	prot     buffer.PageList // high priority, front = MRU
+	prob     buffer.PageList // low priority, front = MRU
+	pos      map[storage.PageID]ctxSlot
+}
+
+// ctxSlot locates a tracked page: its node handle and which level it is on.
+type ctxSlot struct {
+	h    int32
+	prot bool
 }
 
 // NewContextPolicy returns a context-sensitive policy whose protected
@@ -43,10 +51,7 @@ func NewContextPolicy(protectedCap float64) *ContextPolicy {
 	}
 	return &ContextPolicy{
 		capacity: cap,
-		prot:     list.New(),
-		prob:     list.New(),
-		pos:      make(map[storage.PageID]*list.Element),
-		inProt:   make(map[storage.PageID]bool),
+		pos:      make(map[storage.PageID]ctxSlot),
 	}
 }
 
@@ -55,74 +60,62 @@ func (c *ContextPolicy) Name() string { return "Context-sensitive" }
 
 // Admitted implements buffer.Policy: new pages start probationary.
 func (c *ContextPolicy) Admitted(pg storage.PageID) {
-	c.pos[pg] = c.prob.PushFront(pg)
-	c.inProt[pg] = false
+	c.pos[pg] = ctxSlot{h: c.prob.PushFront(pg)}
 }
 
 // Touched implements buffer.Policy: a re-reference while resident raises
 // the page to the protected level.
 func (c *ContextPolicy) Touched(pg storage.PageID) {
-	e, ok := c.pos[pg]
+	s, ok := c.pos[pg]
 	if !ok {
 		return
 	}
-	if c.inProt[pg] {
-		c.prot.MoveToFront(e)
+	if s.prot {
+		c.prot.MoveToFront(s.h)
 		return
 	}
-	c.promote(pg, e)
+	c.promote(pg, s.h)
 }
 
 // Boosted implements buffer.Policy: structural relevance raises the page
 // immediately, without waiting for a second reference.
 func (c *ContextPolicy) Boosted(pg storage.PageID) {
-	e, ok := c.pos[pg]
-	if !ok {
-		return
-	}
-	if c.inProt[pg] {
-		c.prot.MoveToFront(e)
-		return
-	}
-	c.promote(pg, e)
+	c.Touched(pg)
 }
 
-func (c *ContextPolicy) promote(pg storage.PageID, e *list.Element) {
-	c.prob.Remove(e)
-	c.pos[pg] = c.prot.PushFront(pg)
-	c.inProt[pg] = true
+func (c *ContextPolicy) promote(pg storage.PageID, h int32) {
+	c.prob.Remove(h)
+	c.pos[pg] = ctxSlot{h: c.prot.PushFront(pg), prot: true}
 	// Bounded protection: demote the coldest protected page.
 	if c.prot.Len() > c.capacity {
 		tail := c.prot.Back()
-		tp := tail.Value.(storage.PageID)
+		tp := c.prot.Page(tail)
 		c.prot.Remove(tail)
-		c.pos[tp] = c.prob.PushFront(tp)
-		c.inProt[tp] = false
+		c.pos[tp] = ctxSlot{h: c.prob.PushFront(tp)}
 	}
 }
 
 // Removed implements buffer.Policy.
 func (c *ContextPolicy) Removed(pg storage.PageID) {
-	e, ok := c.pos[pg]
+	s, ok := c.pos[pg]
 	if !ok {
 		return
 	}
-	if c.inProt[pg] {
-		c.prot.Remove(e)
+	if s.prot {
+		c.prot.Remove(s.h)
 	} else {
-		c.prob.Remove(e)
+		c.prob.Remove(s.h)
 	}
 	delete(c.pos, pg)
-	delete(c.inProt, pg)
 }
 
 // Victim implements buffer.Policy: the least-recently-used probationary
 // page; only when every probationary page is pinned (or none exists) does
 // the protected level yield its tail.
 func (c *ContextPolicy) Victim(pinned func(storage.PageID) bool) (storage.PageID, bool) {
-	for _, l := range [2]*list.List{c.prob, c.prot} {
-		for e := l.Back(); e != nil; e = e.Prev() {
-			pg := e.Value.(storage.PageID)
+	for _, l := range [2]*buffer.PageList{&c.prob, &c.prot} {
+		for h := l.Back(); h != 0; h = l.Prev(h) {
+			pg := l.Page(h)
 			if pinned == nil || !pinned(pg) {
 				return pg, true
 			}
@@ -132,7 +125,7 @@ func (c *ContextPolicy) Victim(pinned func(storage.PageID) bool) (storage.PageID
 }
 
 // Protected reports whether pg currently holds high priority (for tests).
-func (c *ContextPolicy) Protected(pg storage.PageID) bool { return c.inProt[pg] }
+func (c *ContextPolicy) Protected(pg storage.PageID) bool { return c.pos[pg].prot }
 
 // Tracked returns the number of pages the policy knows about.
 func (c *ContextPolicy) Tracked() int { return len(c.pos) }

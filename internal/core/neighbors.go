@@ -1,61 +1,95 @@
 package core
 
 import (
-	"sort"
-
 	"oodb/internal/model"
 	"oodb/internal/storage"
 )
+
+// The neighborhood helpers here are the innermost loops of candidate
+// ranking, context boosting, and prefetch-group computation. Typical
+// fan-outs are a handful of pages, so deduplication is a linear scan over
+// the pages gathered so far — no map, no allocation — and every helper has
+// an Append form that accumulates into a caller-owned buffer.
+
+// containsPage reports whether pgs contains pg (linear scan; the lists the
+// hot paths build are a few entries long).
+func containsPage(pgs []storage.PageID, pg storage.PageID) bool {
+	for _, p := range pgs {
+		if p == pg {
+			return true
+		}
+	}
+	return false
+}
 
 // NeighborPages returns the distinct pages holding o's one-hop neighbors
 // along kind, excluding o's own page and unplaced neighbors, in traversal
 // order. limit bounds the result (0 means unbounded).
 func NeighborPages(g *model.Graph, st *storage.Manager, o *model.Object, kind model.RelKind, limit int) []storage.PageID {
+	return AppendNeighborPages(nil, g, st, o, kind, limit)
+}
+
+// AppendNeighborPages is NeighborPages accumulating into dst: the appended
+// pages are deduplicated against each other (not against dst's prior
+// contents) and limit bounds the number appended.
+func AppendNeighborPages(dst []storage.PageID, g *model.Graph, st *storage.Manager, o *model.Object, kind model.RelKind, limit int) []storage.PageID {
 	own := st.PageOf(o.ID)
-	var out []storage.PageID
-	seen := make(map[storage.PageID]struct{}, 8)
-	for _, n := range o.Neighbors(kind) {
-		pg := st.PageOf(n)
+	base := len(dst)
+	for i, cnt := 0, o.NeighborCount(kind); i < cnt; i++ {
+		pg := st.PageOf(o.NeighborAt(kind, i))
 		if pg == storage.NilPage || pg == own {
 			continue
 		}
-		if _, ok := seen[pg]; ok {
+		if containsPage(dst[base:], pg) {
 			continue
 		}
-		seen[pg] = struct{}{}
-		out = append(out, pg)
-		if limit > 0 && len(out) >= limit {
+		dst = append(dst, pg)
+		if limit > 0 && len(dst)-base >= limit {
 			break
 		}
 	}
-	return out
+	return dst
 }
 
-// rankedKinds returns the relationship kinds in descending effective
-// traversal frequency for o. When a user hint is active (and honored), the
-// hinted kind ranks first regardless of frequency; configuration hints also
-// promote the opposite configuration direction just below.
-func rankedKinds(o *model.Object, hints HintPolicy, hint Hint) []model.RelKind {
-	kinds := make([]model.RelKind, 0, model.NumRelKinds)
+// rankKinds writes the relationship kinds into buf in descending effective
+// traversal frequency for o and returns the ranked slice. When a user hint
+// is active (and honored), the hinted kind ranks first regardless of
+// frequency. The sort is a stable insertion sort over the fixed-size kind
+// set — no comparator closures, no allocation.
+func rankKinds(buf *[model.NumRelKinds]model.RelKind, o *model.Object, hints HintPolicy, hint Hint) []model.RelKind {
 	for k := model.RelKind(0); k < model.NumRelKinds; k++ {
-		kinds = append(kinds, k)
+		buf[k] = k
 	}
-	sort.SliceStable(kinds, func(i, j int) bool {
-		return o.Freq[kinds[i]] > o.Freq[kinds[j]]
-	})
+	kinds := buf[:]
+	for i := 1; i < len(kinds); i++ {
+		k := kinds[i]
+		j := i
+		for j > 0 && o.Freq[kinds[j-1]] < o.Freq[k] {
+			kinds[j] = kinds[j-1]
+			j--
+		}
+		kinds[j] = k
+	}
 	if hints != UserHints || !hint.Active {
 		return kinds
 	}
 	// Promote the hinted kind to the front, preserving relative order of the
 	// rest.
-	out := make([]model.RelKind, 0, len(kinds))
-	out = append(out, hint.Kind)
-	for _, k := range kinds {
-		if k != hint.Kind {
-			out = append(out, k)
+	for i, k := range kinds {
+		if k == hint.Kind {
+			copy(kinds[1:i+1], kinds[:i])
+			kinds[0] = hint.Kind
+			break
 		}
 	}
-	return out
+	return kinds
+}
+
+// rankedKinds returns the ranked kinds as a fresh slice (compatibility
+// wrapper; hot paths use rankKinds with a stack buffer).
+func rankedKinds(o *model.Object, hints HintPolicy, hint Hint) []model.RelKind {
+	var buf [model.NumRelKinds]model.RelKind
+	return append([]model.RelKind(nil), rankKinds(&buf, o, hints, hint)...)
 }
 
 // PrefetchGroup returns the pages the paper's prefetch hints would target
@@ -65,33 +99,54 @@ func rankedKinds(o *model.Object, hints HintPolicy, hint Hint) []model.RelKind {
 // inheritance source. Without an active hint, the object's dominant
 // relationship kind is used.
 func PrefetchGroup(g *model.Graph, st *storage.Manager, o *model.Object, hints HintPolicy, hint Hint) []storage.PageID {
+	return AppendPrefetchGroup(nil, g, st, o, hints, hint)
+}
+
+// AppendPrefetchGroup is PrefetchGroup accumulating into dst.
+func AppendPrefetchGroup(dst []storage.PageID, g *model.Graph, st *storage.Manager, o *model.Object, hints HintPolicy, hint Hint) []storage.PageID {
 	kind := o.Freq.Dominant()
 	if hints == UserHints && hint.Active {
 		kind = hint.Kind
 	}
-	pages := NeighborPages(g, st, o, kind, 0)
-	// Version hints fetch both directions of the history.
+	base := len(dst)
+	dst = AppendNeighborPages(dst, g, st, o, kind, 0)
+	// Version hints fetch both directions of the history. The second
+	// direction merges into the first: already-present pages are skipped.
+	var other model.RelKind
 	switch kind {
 	case model.VersionAncestor:
-		pages = mergePages(pages, NeighborPages(g, st, o, model.VersionDescendant, 0))
+		other = model.VersionDescendant
 	case model.VersionDescendant:
-		pages = mergePages(pages, NeighborPages(g, st, o, model.VersionAncestor, 0))
+		other = model.VersionAncestor
+	default:
+		return dst
 	}
-	return pages
+	own := st.PageOf(o.ID)
+	for i, cnt := 0, o.NeighborCount(other); i < cnt; i++ {
+		pg := st.PageOf(o.NeighborAt(other, i))
+		if pg == storage.NilPage || pg == own {
+			continue
+		}
+		if containsPage(dst[base:], pg) {
+			continue
+		}
+		dst = append(dst, pg)
+	}
+	return dst
 }
 
+// mergePages returns a with every element of b appended that a does not
+// already contain, deduplicating a itself as well. Retained for tests and
+// cold paths; hot paths merge in place against a caller buffer.
 func mergePages(a, b []storage.PageID) []storage.PageID {
-	seen := make(map[storage.PageID]struct{}, len(a)+len(b))
 	out := a[:0:len(a)]
 	for _, p := range a {
-		if _, ok := seen[p]; !ok {
-			seen[p] = struct{}{}
+		if !containsPage(out, p) {
 			out = append(out, p)
 		}
 	}
 	for _, p := range b {
-		if _, ok := seen[p]; !ok {
-			seen[p] = struct{}{}
+		if !containsPage(out, p) {
 			out = append(out, p)
 		}
 	}
@@ -105,9 +160,14 @@ func mergePages(a, b []storage.PageID) []storage.PageID {
 // composite's page is full; sibling pages are the "next best candidates" of
 // Section 2.1.
 func SiblingPages(g *model.Graph, st *storage.Manager, o *model.Object, limit int) []storage.PageID {
+	return AppendSiblingPages(nil, g, st, o, limit)
+}
+
+// AppendSiblingPages is SiblingPages accumulating into dst, deduplicating
+// the appended pages against each other.
+func AppendSiblingPages(dst []storage.PageID, g *model.Graph, st *storage.Manager, o *model.Object, limit int) []storage.PageID {
 	own := st.PageOf(o.ID)
-	var out []storage.PageID
-	seen := make(map[storage.PageID]struct{}, 8)
+	base := len(dst)
 	for _, comp := range o.Composites {
 		co := g.Object(comp)
 		if co == nil {
@@ -121,17 +181,16 @@ func SiblingPages(g *model.Graph, st *storage.Manager, o *model.Object, limit in
 			if pg == storage.NilPage || pg == own {
 				continue
 			}
-			if _, ok := seen[pg]; ok {
+			if containsPage(dst[base:], pg) {
 				continue
 			}
-			seen[pg] = struct{}{}
-			out = append(out, pg)
-			if limit > 0 && len(out) >= limit {
-				return out
+			dst = append(dst, pg)
+			if limit > 0 && len(dst)-base >= limit {
+				return dst
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // ContextNeighborLimit bounds how many related pages the context-sensitive
@@ -144,22 +203,62 @@ const ContextNeighborLimit = 4
 // raises on each access: the top pages along the object's two most traversed
 // relationship kinds, bounded by ContextNeighborLimit.
 func ContextBoostPages(g *model.Graph, st *storage.Manager, o *model.Object) []storage.PageID {
-	return ContextBoostPagesN(g, st, o, ContextNeighborLimit)
+	return AppendContextBoostPages(nil, g, st, o, ContextNeighborLimit)
 }
 
 // ContextBoostPagesN is ContextBoostPages with an explicit page bound
 // (ablation knob; 0 disables boosting entirely).
 func ContextBoostPagesN(g *model.Graph, st *storage.Manager, o *model.Object, limit int) []storage.PageID {
+	return AppendContextBoostPages(nil, g, st, o, limit)
+}
+
+// contextBoostLocal is the stack-buffer bound for per-kind page gathering in
+// AppendContextBoostPages; boost limits beyond it fall back to a heap
+// buffer.
+const contextBoostLocal = 16
+
+// AppendContextBoostPages is ContextBoostPagesN accumulating into dst. Per
+// ranked kind it gathers up to the remaining limit of that kind's distinct
+// neighbor pages, then merges them into dst, skipping pages an earlier kind
+// already contributed — the same two-stage semantics as the old
+// NeighborPages+mergePages pipeline, without the intermediate allocations.
+func AppendContextBoostPages(dst []storage.PageID, g *model.Graph, st *storage.Manager, o *model.Object, limit int) []storage.PageID {
 	if limit <= 0 {
-		return nil
+		return dst
 	}
-	kinds := rankedKinds(o, NoHints, Hint{})
-	var out []storage.PageID
+	var kindBuf [model.NumRelKinds]model.RelKind
+	kinds := rankKinds(&kindBuf, o, NoHints, Hint{})
+	own := st.PageOf(o.ID)
+	base := len(dst)
+	var localBuf [contextBoostLocal]storage.PageID
 	for _, k := range kinds[:2] {
-		out = mergePages(out, NeighborPages(g, st, o, k, limit-len(out)))
-		if len(out) >= limit {
+		rem := limit - (len(dst) - base)
+		if rem <= 0 {
 			break
 		}
+		// local tracks the distinct pages gathered for this kind: rem bounds
+		// their count (whether or not a page is new to dst), exactly as the
+		// bounded NeighborPages call did before the merge step.
+		local := localBuf[:0]
+		if rem > contextBoostLocal {
+			local = make([]storage.PageID, 0, rem)
+		}
+		for i, cnt := 0, o.NeighborCount(k); i < cnt; i++ {
+			pg := st.PageOf(o.NeighborAt(k, i))
+			if pg == storage.NilPage || pg == own {
+				continue
+			}
+			if containsPage(local, pg) {
+				continue
+			}
+			local = append(local, pg)
+			if !containsPage(dst[base:], pg) {
+				dst = append(dst, pg)
+			}
+			if len(local) >= rem {
+				break
+			}
+		}
 	}
-	return out
+	return dst
 }

@@ -21,28 +21,39 @@ type Prefetcher struct {
 	GroupPages    int // pages in computed prefetch groups
 	PrefetchReads int // physical reads issued (within-DB only)
 	BoostsIssued  int // priority adjustments (within-buffer)
+
+	groupBuf []storage.PageID // reusable prefetch-group buffer
+	iosBuf   []PhysIO         // reusable I/O accumulator (within-DB)
 }
 
 // ExpandAccess converts a pool AccessResult into the physical I/Os it
 // implies: flush the dirty victim, then read the page.
 func ExpandAccess(res buffer.AccessResult, pg storage.PageID) []PhysIO {
+	return AppendExpandAccess(nil, res, pg)
+}
+
+// AppendExpandAccess is ExpandAccess accumulating into dst — the hot-path
+// form that avoids a fresh slice per buffer miss.
+func AppendExpandAccess(dst []PhysIO, res buffer.AccessResult, pg storage.PageID) []PhysIO {
 	if res.Hit {
-		return nil
+		return dst
 	}
-	var ios []PhysIO
 	if res.VictimDirty {
-		ios = append(ios, WriteOf(res.Victim))
+		dst = append(dst, WriteOf(res.Victim))
 	}
-	return append(ios, ReadOf(pg))
+	return append(dst, ReadOf(pg))
 }
 
 // OnAccess runs the prefetch policy after object o was touched, returning
-// the physical I/Os prefetching triggered (empty except within-DB).
+// the physical I/Os prefetching triggered (empty except within-DB). The
+// returned slice is backed by the prefetcher's scratch buffer and is valid
+// until the next OnAccess call.
 func (pf *Prefetcher) OnAccess(o *model.Object) ([]PhysIO, error) {
 	if pf.Policy == NoPrefetch {
 		return nil, nil
 	}
-	group := PrefetchGroup(pf.Graph, pf.Store, o, pf.Hints, pf.Hint)
+	group := AppendPrefetchGroup(pf.groupBuf[:0], pf.Graph, pf.Store, o, pf.Hints, pf.Hint)
+	pf.groupBuf = group
 	pf.GroupPages += len(group)
 	switch pf.Policy {
 	case PrefetchWithinBuffer:
@@ -55,20 +66,22 @@ func (pf *Prefetcher) OnAccess(o *model.Object) ([]PhysIO, error) {
 		}
 		return nil, nil
 	case PrefetchWithinDB:
-		var ios []PhysIO
+		ios := pf.iosBuf[:0]
 		for _, pg := range group {
 			res, err := pf.Pool.Access(pg)
 			if err != nil {
+				pf.iosBuf = ios
 				return ios, err
 			}
 			if !res.Hit {
 				pf.PrefetchReads++
 			}
-			ios = append(ios, ExpandAccess(res, pg)...)
+			ios = AppendExpandAccess(ios, res, pg)
 			// Prefetched pages get the same high priority as the accessed
 			// page.
 			pf.Pool.Boost(pg)
 		}
+		pf.iosBuf = ios
 		return ios, nil
 	}
 	return nil, nil

@@ -169,11 +169,14 @@ func bruteForceMinCut(pg *PartGraph, capacity int) (float64, bool) {
 	return best, found
 }
 
-// Property: OptimalSplit matches brute force exactly on small instances.
+// Property: OptimalSplit matches brute force exactly on small instances —
+// the reported cut equals the brute-force minimum, and the returned
+// partition genuinely achieves it (its recomputed cut matches and both
+// sides respect capacity), on random graphs up to 14 nodes.
 func TestOptimalMatchesBruteForce(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		n := 3 + rng.Intn(8)
+		n := 3 + rng.Intn(12)
 		g, ids := randomPartGraph(rng, n)
 		pg := BuildPartGraph(g, ids)
 		total := 0
@@ -189,10 +192,51 @@ func TestOptimalMatchesBruteForce(t *testing.T) {
 		if !ok {
 			return true
 		}
-		return got.Cut <= want+1e-9 && got.Cut >= want-1e-9
+		if got.Cut > want+1e-9 || got.Cut < want-1e-9 {
+			return false
+		}
+		// The partition must itself realize the minimal cut.
+		if d := pg.cutOf(got.Side) - want; d > 1e-9 || d < -1e-9 {
+			return false
+		}
+		a, b := pg.sideSizes(got.Side)
+		return a <= capacity && b <= capacity
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The branch-and-bound exact search must handle graphs of 20+ nodes well
+// inside the test timeout — the pruning rules (partial cut against the
+// incumbent, admissible per-node lower bound, anchored first node) are what
+// make this tractable where plain 2^n enumeration is not.
+func TestOptimalSplitTwentyPlusNodes(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(4) // 20..23, all within the exact-search bound
+		g, ids := randomPartGraph(rng, n)
+		pg := BuildPartGraph(g, ids)
+		total := 0
+		for _, s := range pg.Sizes {
+			total += s
+		}
+		capacity := total*3/5 + 160
+		part, ok := OptimalSplit(pg, capacity)
+		if !ok {
+			t.Fatalf("seed %d: expected feasible split", seed)
+		}
+		a, b := pg.sideSizes(part.Side)
+		if a > capacity || b > capacity {
+			t.Fatalf("seed %d: capacity violated (%d/%d > %d)", seed, a, b, capacity)
+		}
+		if d := part.Cut - pg.cutOf(part.Side); d > 1e-9 || d < -1e-9 {
+			t.Fatalf("seed %d: reported cut %v != recomputed %v", seed, part.Cut, pg.cutOf(part.Side))
+		}
+		gr, gok := GreedySplit(pg, capacity)
+		if gok && part.Cut > gr.Cut+1e-9 {
+			t.Fatalf("seed %d: optimal cut %v worse than greedy %v", seed, part.Cut, gr.Cut)
+		}
 	}
 }
 

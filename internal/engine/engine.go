@@ -41,6 +41,16 @@ type Engine struct {
 	// current transaction executes; startTxn drains it to the disks.
 	pendingBG []core.PhysIO
 
+	// Hot-path scratch. The functional layer runs atomically per transaction
+	// inside the single-threaded event loop, and these buffers are consumed
+	// before it yields, so one set per engine suffices. (The physical I/O
+	// program itself cannot be scratch-backed: it stays live across the timed
+	// disk callbacks while other transactions execute.)
+	boostBuf  []storage.PageID // context-boost targets, drained per read
+	expandBuf []model.ObjectID // readClosure expansion targets
+	blockBuf  []model.ObjectID // checkout first-level components
+	leafBuf   []model.ObjectID // checkout second-level components
+
 	// adapt drives the phased-R/W and adaptive-clustering extensions; nil
 	// when neither is configured.
 	adapt *adaptiveState

@@ -65,24 +65,24 @@ func (e *Engine) execute(txn int, req workload.Txn) (ios []core.PhysIO, logical 
 // relevance). When prefetch is true — the touched object is the root of a
 // navigation, not one of its expansion targets — the prefetch policy runs
 // too, accumulating its I/Os as background work.
-func (e *Engine) readObject(id model.ObjectID, prefetch, boost bool) ([]core.PhysIO, error) {
+func (e *Engine) readObject(dst []core.PhysIO, id model.ObjectID, prefetch, boost bool) ([]core.PhysIO, error) {
 	o := e.graph.Object(id)
 	if o == nil {
 		// The object was deleted between transaction generation and
 		// execution (a lock wait can reorder them). A real DBMS returns
 		// not-found; the lookup still costs a logical operation but no I/O.
 		e.metrics.notFound++
-		return nil, nil
+		return dst, nil
 	}
 	pg := e.store.PageOf(id)
 	if pg == storage.NilPage {
-		return nil, fmt.Errorf("engine: object %d is unplaced", id)
+		return dst, fmt.Errorf("engine: object %d is unplaced", id)
 	}
 	res, err := e.pool.Access(pg)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	ios := core.ExpandAccess(res, pg)
+	dst = core.AppendExpandAccess(dst, res, pg)
 
 	// The context-sensitive replacement policy uses structural knowledge on
 	// every access: pages related to the touched object gain priority.
@@ -91,18 +91,19 @@ func (e *Engine) readObject(id model.ObjectID, prefetch, boost bool) ([]core.Phy
 		if limit == 0 {
 			limit = core.ContextNeighborLimit
 		}
-		for _, rp := range core.ContextBoostPagesN(e.graph, e.store, o, limit) {
+		e.boostBuf = core.AppendContextBoostPages(e.boostBuf[:0], e.graph, e.store, o, limit)
+		for _, rp := range e.boostBuf {
 			e.pool.Boost(rp)
 		}
 	}
 	if prefetch {
 		pfIOs, err := e.pf.OnAccess(o)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		e.pendingBG = append(e.pendingBG, pfIOs...)
 	}
-	return ios, nil
+	return dst, nil
 }
 
 // readClosure reads target and, if expand is non-nil, every object expand
@@ -110,7 +111,7 @@ func (e *Engine) readObject(id model.ObjectID, prefetch, boost bool) ([]core.Phy
 // the navigation root ("touching an object causes the page containing it
 // and the pages containing its immediate subcomponents to be brought in").
 func (e *Engine) readClosure(target model.ObjectID, expand func(*model.Object) []model.ObjectID) ([]core.PhysIO, int, error) {
-	ios, err := e.readObject(target, true, true)
+	ios, err := e.readObject(nil, target, true, true)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -119,13 +120,13 @@ func (e *Engine) readClosure(target model.ObjectID, expand func(*model.Object) [
 	if expand != nil && o != nil {
 		// Copy: prefetch/boost paths never mutate relationship slices, but
 		// being defensive here is cheap and keeps the invariant local.
-		targets := append([]model.ObjectID(nil), expand(o)...)
+		targets := append(e.expandBuf[:0], expand(o)...)
+		e.expandBuf = targets
 		for _, c := range targets {
-			more, err := e.readObject(c, false, true)
+			ios, err = e.readObject(ios, c, false, true)
 			if err != nil {
 				return nil, 0, err
 			}
-			ios = append(ios, more...)
 			logical++
 		}
 	}
@@ -134,33 +135,31 @@ func (e *Engine) readClosure(target model.ObjectID, expand func(*model.Object) [
 
 // ensureDirty marks pg dirty, re-fetching it first if a later access of the
 // same transaction evicted it.
-func (e *Engine) ensureDirty(pg storage.PageID) ([]core.PhysIO, error) {
-	var ios []core.PhysIO
+func (e *Engine) ensureDirty(dst []core.PhysIO, pg storage.PageID) ([]core.PhysIO, error) {
 	if !e.pool.Contains(pg) {
 		res, err := e.pool.Access(pg)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		ios = core.ExpandAccess(res, pg)
+		dst = core.AppendExpandAccess(dst, res, pg)
 	}
 	if err := e.pool.MarkDirty(pg); err != nil {
-		return ios, err
+		return dst, err
 	}
-	return ios, nil
+	return dst, nil
 }
 
 // logAppend charges the log manager and converts its physical I/O count
 // into log-disk writes.
-func (e *Engine) logAppend(txn int, objSize int, pg storage.PageID) ([]core.PhysIO, error) {
+func (e *Engine) logAppend(dst []core.PhysIO, txn int, objSize int, pg storage.PageID) ([]core.PhysIO, error) {
 	n, err := e.log.Append(txn, objSize, pg)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	ios := make([]core.PhysIO, 0, n)
 	for i := 0; i < n; i++ {
-		ios = append(ios, core.LogWrite())
+		dst = append(dst, core.LogWrite())
 	}
-	return ios, nil
+	return dst, nil
 }
 
 // finishPlacement applies the bookkeeping every object-producing write
@@ -168,24 +167,21 @@ func (e *Engine) logAppend(txn int, objSize int, pg storage.PageID) ([]core.Phys
 // object; a split's extra page is the paper's "extra log record").
 func (e *Engine) finishPlacement(txn int, o *model.Object, pl core.Placement, ios []core.PhysIO) ([]core.PhysIO, error) {
 	ios = append(ios, pl.IOs...)
+	var err error
 	for _, pg := range pl.DirtyPages {
-		more, err := e.ensureDirty(pg)
-		if err != nil {
+		if ios, err = e.ensureDirty(ios, pg); err != nil {
 			return nil, err
 		}
-		ios = append(ios, more...)
-		logIOs, err := e.logAppend(txn, o.Size, pg)
-		if err != nil {
+		if ios, err = e.logAppend(ios, txn, o.Size, pg); err != nil {
 			return nil, err
 		}
-		ios = append(ios, logIOs...)
 	}
 	return ios, nil
 }
 
 func (e *Engine) execInsert(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
 	parent := req.AttachTo
-	ios, err := e.readObject(parent, true, true)
+	ios, err := e.readObject(nil, parent, true, true)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -209,22 +205,20 @@ func (e *Engine) execInsert(txn int, req workload.Txn) ([]core.PhysIO, int, erro
 		return nil, 0, err
 	}
 	// The composite's component list changed too.
-	more, err := e.ensureDirty(e.store.PageOf(parent))
+	ios, err = e.ensureDirty(ios, e.store.PageOf(parent))
 	if err != nil {
 		return nil, 0, err
 	}
-	ios = append(ios, more...)
-	logIOs, err := e.logAppend(txn, e.graph.Object(parent).Size, e.store.PageOf(parent))
+	ios, err = e.logAppend(ios, txn, e.graph.Object(parent).Size, e.store.PageOf(parent))
 	if err != nil {
 		return nil, 0, err
 	}
-	ios = append(ios, logIOs...)
 	e.gen.NoteCreated(o.ID, o.Type)
 	return ios, 2, nil
 }
 
 func (e *Engine) execUpdate(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
-	ios, err := e.readObject(req.Target, true, true)
+	ios, err := e.readObject(nil, req.Target, true, true)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -232,31 +226,29 @@ func (e *Engine) execUpdate(txn int, req workload.Txn) ([]core.PhysIO, int, erro
 		return ios, 1, nil // deleted before the update landed
 	}
 	pg := e.store.PageOf(req.Target)
-	more, err := e.ensureDirty(pg)
+	ios, err = e.ensureDirty(ios, pg)
 	if err != nil {
 		return nil, 0, err
 	}
-	ios = append(ios, more...)
-	logIOs, err := e.logAppend(txn, e.graph.Object(req.Target).Size, pg)
+	ios, err = e.logAppend(ios, txn, e.graph.Object(req.Target).Size, pg)
 	if err != nil {
 		return nil, 0, err
 	}
-	return append(ios, logIOs...), 1, nil
+	return ios, 1, nil
 }
 
 // execStructUpdate re-links Target under AttachTo (or detaches it if the
 // link already exists) and runs the run-time reclustering algorithm on the
 // restructured object.
 func (e *Engine) execStructUpdate(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
-	ios, err := e.readObject(req.Target, true, true)
+	ios, err := e.readObject(nil, req.Target, true, true)
 	if err != nil {
 		return nil, 0, err
 	}
-	more, err := e.readObject(req.AttachTo, false, true)
+	ios, err = e.readObject(ios, req.AttachTo, false, true)
 	if err != nil {
 		return nil, 0, err
 	}
-	ios = append(ios, more...)
 
 	o := e.graph.Object(req.Target)
 	parent := e.graph.Object(req.AttachTo)
@@ -282,33 +274,28 @@ func (e *Engine) execStructUpdate(txn int, req workload.Txn) ([]core.PhysIO, int
 	}
 	ios = append(ios, pl.IOs...)
 	dirty := pl.DirtyPages
+	var one [1]storage.PageID
 	if len(dirty) == 0 {
-		dirty = []storage.PageID{e.store.PageOf(o.ID)}
+		one[0] = e.store.PageOf(o.ID)
+		dirty = one[:]
 	}
 	for _, pg := range dirty {
-		m, err := e.ensureDirty(pg)
-		if err != nil {
+		if ios, err = e.ensureDirty(ios, pg); err != nil {
 			return nil, 0, err
 		}
-		ios = append(ios, m...)
-		logIOs, err := e.logAppend(txn, o.Size, pg)
-		if err != nil {
+		if ios, err = e.logAppend(ios, txn, o.Size, pg); err != nil {
 			return nil, 0, err
 		}
-		ios = append(ios, logIOs...)
 	}
 	// The composite's component list changed as well.
 	ppg := e.store.PageOf(parent.ID)
-	m, err := e.ensureDirty(ppg)
-	if err != nil {
+	if ios, err = e.ensureDirty(ios, ppg); err != nil {
 		return nil, 0, err
 	}
-	ios = append(ios, m...)
-	logIOs, err := e.logAppend(txn, parent.Size, ppg)
-	if err != nil {
+	if ios, err = e.logAppend(ios, txn, parent.Size, ppg); err != nil {
 		return nil, 0, err
 	}
-	return append(ios, logIOs...), 2, nil
+	return ios, 2, nil
 }
 
 // execScan performs a batch-tool sweep: every target is read without
@@ -316,12 +303,11 @@ func (e *Engine) execStructUpdate(txn int, req workload.Txn) ([]core.PhysIO, int
 // manager.
 func (e *Engine) execScan(req workload.Txn) ([]core.PhysIO, int, error) {
 	var ios []core.PhysIO
+	var err error
 	for _, id := range req.Scan {
-		more, err := e.readObject(id, false, false)
-		if err != nil {
+		if ios, err = e.readObject(ios, id, false, false); err != nil {
 			return nil, 0, err
 		}
-		ios = append(ios, more...)
 	}
 	return ios, len(req.Scan), nil
 }
@@ -331,7 +317,7 @@ func (e *Engine) execScan(req workload.Txn) ([]core.PhysIO, int, error) {
 // "loading a large object hierarchy into memory" the paper's introduction
 // motivates. Prefetching fires per touched composite.
 func (e *Engine) execCheckout(req workload.Txn) ([]core.PhysIO, int, error) {
-	ios, err := e.readObject(req.Target, true, true)
+	ios, err := e.readObject(nil, req.Target, true, true)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -340,25 +326,23 @@ func (e *Engine) execCheckout(req workload.Txn) ([]core.PhysIO, int, error) {
 	if root == nil {
 		return ios, logical, nil
 	}
-	blocks := append([]model.ObjectID(nil), root.Components...)
+	blocks := append(e.blockBuf[:0], root.Components...)
+	e.blockBuf = blocks
 	for _, b := range blocks {
-		more, err := e.readObject(b, true, true)
-		if err != nil {
+		if ios, err = e.readObject(ios, b, true, true); err != nil {
 			return nil, 0, err
 		}
-		ios = append(ios, more...)
 		logical++
 		bo := e.graph.Object(b)
 		if bo == nil {
 			continue
 		}
-		leaves := append([]model.ObjectID(nil), bo.Components...)
+		leaves := append(e.leafBuf[:0], bo.Components...)
+		e.leafBuf = leaves
 		for _, l := range leaves {
-			more, err := e.readObject(l, false, true)
-			if err != nil {
+			if ios, err = e.readObject(ios, l, false, true); err != nil {
 				return nil, 0, err
 			}
-			ios = append(ios, more...)
 			logical++
 		}
 	}
@@ -380,21 +364,19 @@ func (e *Engine) execDelete(txn int, req workload.Txn) ([]core.PhysIO, int, erro
 	if len(o.Components) > 0 || len(o.Descendants) > 0 {
 		return e.execUpdate(txn, req)
 	}
-	ios, err := e.readObject(req.Target, false, false)
+	ios, err := e.readObject(nil, req.Target, false, false)
 	if err != nil {
 		return nil, 0, err
 	}
 	pg := e.store.PageOf(req.Target)
-	more, err := e.ensureDirty(pg)
+	ios, err = e.ensureDirty(ios, pg)
 	if err != nil {
 		return nil, 0, err
 	}
-	ios = append(ios, more...)
-	logIOs, err := e.logAppend(txn, o.Size, pg)
+	ios, err = e.logAppend(ios, txn, o.Size, pg)
 	if err != nil {
 		return nil, 0, err
 	}
-	ios = append(ios, logIOs...)
 	if err := e.store.Remove(req.Target); err != nil {
 		return nil, 0, err
 	}
@@ -406,7 +388,7 @@ func (e *Engine) execDelete(txn int, req workload.Txn) ([]core.PhysIO, int, erro
 
 // execDerive checks in a new version of Target.
 func (e *Engine) execDerive(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
-	ios, err := e.readObject(req.Target, true, true)
+	ios, err := e.readObject(nil, req.Target, true, true)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -427,16 +409,14 @@ func (e *Engine) execDerive(txn int, req workload.Txn) ([]core.PhysIO, int, erro
 	}
 	// The ancestor's descendant list changed.
 	apg := e.store.PageOf(req.Target)
-	more, err := e.ensureDirty(apg)
+	ios, err = e.ensureDirty(ios, apg)
 	if err != nil {
 		return nil, 0, err
 	}
-	ios = append(ios, more...)
-	logIOs, err := e.logAppend(txn, e.graph.Object(req.Target).Size, apg)
+	ios, err = e.logAppend(ios, txn, e.graph.Object(req.Target).Size, apg)
 	if err != nil {
 		return nil, 0, err
 	}
-	ios = append(ios, logIOs...)
 	e.gen.NoteCreated(o.ID, o.Type)
 	return ios, 2, nil
 }

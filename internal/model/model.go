@@ -186,7 +186,9 @@ func (o *Object) triple(typeName string) string {
 }
 
 // Neighbors returns the object IDs reachable over one hop of the given
-// relationship kind.
+// relationship kind. The scalar-backed kinds (version ancestor, inheritance
+// source) materialize a one-element slice; allocation-sensitive callers
+// should iterate with NeighborCount/NeighborAt instead.
 func (o *Object) Neighbors(kind RelKind) []ObjectID {
 	switch kind {
 	case ConfigDown:
@@ -209,4 +211,57 @@ func (o *Object) Neighbors(kind RelKind) []ObjectID {
 		return []ObjectID{o.InheritsFrom}
 	}
 	return nil
+}
+
+// NeighborCount returns the number of one-hop neighbors along kind without
+// materializing a slice.
+func (o *Object) NeighborCount(kind RelKind) int {
+	switch kind {
+	case ConfigDown:
+		return len(o.Components)
+	case ConfigUp:
+		return len(o.Composites)
+	case VersionAncestor:
+		if o.Ancestor == NilObject {
+			return 0
+		}
+		return 1
+	case VersionDescendant:
+		return len(o.Descendants)
+	case Correspondence:
+		return len(o.Correspondents)
+	case InheritanceRef:
+		if o.InheritsFrom == NilObject {
+			return 0
+		}
+		return 1
+	}
+	return 0
+}
+
+// NeighborAt returns the i-th one-hop neighbor along kind. It is the
+// allocation-free counterpart of Neighbors for hot loops:
+//
+//	for i, n := 0, o.NeighborCount(k); i < n; i++ {
+//		id := o.NeighborAt(k, i)
+//		...
+//	}
+//
+// i must be in [0, NeighborCount(kind)).
+func (o *Object) NeighborAt(kind RelKind, i int) ObjectID {
+	switch kind {
+	case ConfigDown:
+		return o.Components[i]
+	case ConfigUp:
+		return o.Composites[i]
+	case VersionAncestor:
+		return o.Ancestor
+	case VersionDescendant:
+		return o.Descendants[i]
+	case Correspondence:
+		return o.Correspondents[i]
+	case InheritanceRef:
+		return o.InheritsFrom
+	}
+	return NilObject
 }

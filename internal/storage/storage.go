@@ -40,14 +40,28 @@ type Page struct {
 
 // Manager is the storage manager: page allocation, the object->page map,
 // and free-space accounting.
+//
+// The object->page map is the hottest lookup in the system (every affinity
+// probe, candidate ranking, and buffer boost goes through PageOf), so it is
+// a dense slice indexed by object ID — one array load. Object IDs are dense
+// by construction in model.Graph; should a caller ever place an ID far past
+// the dense frontier, it spills into a sparse overflow map instead of
+// forcing a proportionally huge dense array.
 type Manager struct {
 	graph    *model.Graph
 	pageSize int
 	pages    []*Page  // index 0 unused (NilPage)
-	where    []PageID // object ID -> page ID; grows with the graph
+	where    []PageID // dense object ID -> page ID; grows with the graph
+	sparse   map[model.ObjectID]PageID // overflow for IDs far past the frontier
 	objects  int
 	free     []PageID // emptied pages, reused by AllocatePage
 }
+
+// maxDenseGap bounds how far past the current dense frontier a single
+// placement may grow the dense object->page array. IDs further out are
+// tracked in the sparse overflow map, so one outlier ID cannot balloon the
+// dense array.
+const maxDenseGap = 1 << 16
 
 // NewManager creates a storage manager over graph with the given page size
 // in bytes.
@@ -105,10 +119,13 @@ func (m *Manager) FreeSpace(id PageID) int {
 
 // PageOf returns the page holding object id, or NilPage.
 func (m *Manager) PageOf(id model.ObjectID) PageID {
-	if int(id) >= len(m.where) {
-		return NilPage
+	if int(id) < len(m.where) {
+		return m.where[id]
 	}
-	return m.where[id]
+	if m.sparse != nil {
+		return m.sparse[id] // zero value is NilPage
+	}
+	return NilPage
 }
 
 // ObjectsOn returns the objects resident on a page. The returned slice is
@@ -122,10 +139,40 @@ func (m *Manager) ObjectsOn(id PageID) []model.ObjectID {
 }
 
 func (m *Manager) setWhere(obj model.ObjectID, pg PageID) {
-	for int(obj) >= len(m.where) {
-		m.where = append(m.where, NilPage)
+	if int(obj) < len(m.where) {
+		m.where[obj] = pg
+		return
 	}
-	m.where[obj] = pg
+	if int(obj)-len(m.where) < maxDenseGap {
+		n := int(obj) + 1
+		if n <= cap(m.where) {
+			// The backing array was zeroed at allocation and lengths only
+			// grow, so the exposed tail is already NilPage (== 0).
+			m.where = m.where[:n]
+		} else {
+			grown := make([]PageID, n, 2*n)
+			copy(grown, m.where)
+			m.where = grown
+		}
+		// Sparse entries the dense array now covers must move into it, or
+		// the dense NilPage would shadow them on lookup.
+		for id, p := range m.sparse {
+			if int(id) < len(m.where) {
+				m.where[id] = p
+				delete(m.sparse, id)
+			}
+		}
+		m.where[obj] = pg
+		return
+	}
+	if m.sparse == nil {
+		m.sparse = make(map[model.ObjectID]PageID)
+	}
+	if pg == NilPage {
+		delete(m.sparse, obj)
+	} else {
+		m.sparse[obj] = pg
+	}
 }
 
 // Place puts object obj on page pg. It fails if the object is already

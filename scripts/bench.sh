@@ -1,0 +1,38 @@
+#!/bin/sh
+# Benchmark harness: runs the hot-path micro-benchmarks (core placement and
+# split machinery, buffer pool and replacement policies, storage lookup)
+# with -benchmem and writes the parsed results — ns/op, B/op, allocs/op per
+# benchmark — to BENCH_2.json (or the path given as $1).
+#
+# Usage: ./scripts/bench.sh [output.json]
+#   BENCHTIME=100ms ./scripts/bench.sh   # quicker, noisier numbers
+set -eu
+
+out="${1:-BENCH_2.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-1s}" \
+    ./internal/core/ ./internal/buffer/ ./internal/storage/ | tee "$tmp"
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bop = "0"; aop = "0"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "B/op") bop = $(i - 1)
+        if ($i == "allocs/op") aop = $(i - 1)
+    }
+    if (ns == "") next
+    if (!first) printf(",\n")
+    first = 0
+    printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+           name, ns, bop, aop)
+}
+END { print "\n]" }
+' "$tmp" > "$out"
+
+echo "wrote $out"
