@@ -26,10 +26,30 @@ func main() {
 		seed  = flag.Int64("seed", 1, "random seed")
 		par   = flag.Int("parallel", 0, "worker pool size for the 2^8 factorial runs (0 = GOMAXPROCS, 1 = serial)")
 		verb  = flag.Bool("v", false, "print per-run progress (256 runs, concurrency-safe)")
+
+		replLow  = flag.String("repl-low", "", "override the replacement factor's low level by registry name (default LRU)")
+		replHigh = flag.String("repl-high", "", "override the replacement factor's high level by registry name (default context-sensitive)")
+		strategy = flag.String("strategy", "", "clustering strategy for every run, by registry name (default affinity)")
 	)
 	flag.Parse()
 
-	opt := oodb.ExperimentOptions{Scale: *scale, Transactions: *txns, Seed: *seed, Workers: *par}
+	for _, name := range []string{*replLow, *replHigh} {
+		if name != "" && !oodb.HasReplacementPolicy(name) {
+			fmt.Fprintf(os.Stderr, "factorial: unknown replacement policy %q (registered: %v)\n",
+				name, oodb.ReplacementPolicies())
+			os.Exit(2)
+		}
+	}
+	if *strategy != "" && !oodb.HasClusterStrategy(*strategy) {
+		fmt.Fprintf(os.Stderr, "factorial: unknown cluster strategy %q (registered: %v)\n",
+			*strategy, oodb.ClusterStrategies())
+		os.Exit(2)
+	}
+
+	opt := oodb.ExperimentOptions{
+		Scale: *scale, Transactions: *txns, Seed: *seed, Workers: *par,
+		ReplacementLow: *replLow, ReplacementHigh: *replHigh, ClusterStrategy: *strategy,
+	}
 	if *verb {
 		opt.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

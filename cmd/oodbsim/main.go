@@ -39,8 +39,10 @@ func main() {
 		density  = flag.String("density", "med-5", "single run: low-3 | med-5 | high-10")
 		rw       = flag.Float64("rw", 10, "single run: read/write ratio")
 		cluster  = flag.String("cluster", "No_limit", "single run: No_Cluster | Within_Buffer | 2_IO_limit | 10_IO_limit | No_limit")
-		repl     = flag.String("repl", "LRU", "single run: LRU | Context | Random")
+		repl     = flag.String("repl", "LRU", "single run: paper name (LRU | Context | Random) or any registered policy (e.g. clock)")
 		prefetch = flag.String("prefetch", "none", "single run: none | buffer | db")
+		strategy = flag.String("strategy", "", "single run: clustering strategy by registry name (affinity | noop; default affinity)")
+		observe  = flag.Bool("observe", false, "single run: record per-layer instrumentation counters and print them after the run")
 	)
 	flag.Parse()
 
@@ -57,7 +59,7 @@ func main() {
 	}
 
 	if *single {
-		if err := runSingle(*scale, *txns, *seed, *density, *rw, *cluster, *repl, *prefetch); err != nil {
+		if err := runSingle(*scale, *txns, *seed, *density, *rw, *cluster, *repl, *prefetch, *strategy, *observe); err != nil {
 			fatal(err)
 		}
 		return
@@ -95,7 +97,7 @@ func main() {
 	}
 }
 
-func runSingle(scale float64, txns int, seed int64, density string, rw float64, cluster, repl, prefetch string) error {
+func runSingle(scale float64, txns int, seed int64, density string, rw float64, cluster, repl, prefetch, strategy string, observe bool) error {
 	cfg := oodb.DefaultSimConfig(scale)
 	cfg.Transactions = txns
 	cfg.Seed = seed
@@ -108,11 +110,27 @@ func runSingle(scale float64, txns int, seed int64, density string, rw float64, 
 	if cfg.Cluster, err = oodb.ParseClusterPolicy(cluster); err != nil {
 		return err
 	}
+	// Paper names first; anything else resolves through the policy registry,
+	// so registered extras like "clock" work without touching the enum parser.
 	if cfg.Replacement, err = oodb.ParseReplacement(repl); err != nil {
-		return err
+		if !oodb.HasReplacementPolicy(repl) {
+			return fmt.Errorf("unknown replacement policy %q (registered: %v)", repl, oodb.ReplacementPolicies())
+		}
+		cfg.ReplacementName = repl
 	}
 	if cfg.Prefetch, err = oodb.ParsePrefetchPolicy(prefetch); err != nil {
 		return err
+	}
+	if strategy != "" {
+		if !oodb.HasClusterStrategy(strategy) {
+			return fmt.Errorf("unknown cluster strategy %q (registered: %v)", strategy, oodb.ClusterStrategies())
+		}
+		cfg.ClusterStrategy = strategy
+	}
+	var counters *oodb.EventCounters
+	if observe {
+		counters = &oodb.EventCounters{}
+		cfg.Recorder = counters
 	}
 
 	res, err := oodb.RunSimulation(cfg)
@@ -126,6 +144,10 @@ func runSingle(scale float64, txns int, seed int64, density string, rw float64, 
 		res.Cluster.Placements, res.Cluster.Moves, res.Cluster.Splits, res.Cluster.CandidateIOs)
 	fmt.Printf("  log: records=%d before-image IOs=%d buffer flushes=%d\n",
 		res.Log.Records, res.Log.BeforeImageIOs, res.Log.BufferFlushes)
+	if counters != nil {
+		fmt.Println("  layer events:")
+		fmt.Print(counters.Render())
+	}
 	return nil
 }
 

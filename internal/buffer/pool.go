@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"oodb/internal/obs"
 	"oodb/internal/storage"
 )
 
@@ -77,6 +78,7 @@ type Pool struct {
 	resident map[storage.PageID]frame
 	pinnedFn func(storage.PageID) bool // p.pinned, bound once
 	stats    Stats
+	rec      obs.Recorder // nil = uninstrumented
 }
 
 type frame struct {
@@ -117,6 +119,9 @@ func (p *Pool) Contains(pg storage.PageID) bool {
 // Policy returns the replacement policy.
 func (p *Pool) Policy() Policy { return p.policy }
 
+// SetRecorder installs the instrumentation hook; nil disables it.
+func (p *Pool) SetRecorder(r obs.Recorder) { p.rec = r }
+
 // Stats returns a copy of the pool statistics.
 func (p *Pool) Stats() Stats { return p.stats }
 
@@ -140,8 +145,14 @@ func (p *Pool) admit(pg storage.PageID, res *AccessResult) error {
 		res.VictimDirty = vf.dirty
 		if vf.dirty {
 			p.stats.Flushes++
+			if p.rec != nil {
+				p.rec.Count(obs.PoolFlush, 1)
+			}
 		}
 		p.stats.Evictions++
+		if p.rec != nil {
+			p.rec.Count(obs.PoolEvict, 1)
+		}
 		delete(p.resident, victim)
 		p.policy.Removed(victim)
 	}
@@ -158,10 +169,16 @@ func (p *Pool) Access(pg storage.PageID) (AccessResult, error) {
 	}
 	if _, ok := p.resident[pg]; ok {
 		p.stats.Hits++
+		if p.rec != nil {
+			p.rec.Count(obs.PoolHit, 1)
+		}
 		p.policy.Touched(pg)
 		return AccessResult{Hit: true}, nil
 	}
 	p.stats.Misses++
+	if p.rec != nil {
+		p.rec.Count(obs.PoolMiss, 1)
+	}
 	res := AccessResult{}
 	if err := p.admit(pg, &res); err != nil {
 		return res, err
@@ -179,6 +196,9 @@ func (p *Pool) Install(pg storage.PageID) (AccessResult, error) {
 	}
 	if _, ok := p.resident[pg]; ok {
 		p.stats.Hits++
+		if p.rec != nil {
+			p.rec.Count(obs.PoolHit, 1)
+		}
 		p.policy.Touched(pg)
 		return AccessResult{Hit: true}, nil
 	}
@@ -220,6 +240,9 @@ func (p *Pool) Clean(pg storage.PageID) {
 func (p *Pool) Boost(pg storage.PageID) {
 	if _, ok := p.resident[pg]; ok {
 		p.stats.Boosts++
+		if p.rec != nil {
+			p.rec.Count(obs.PoolBoost, 1)
+		}
 		p.policy.Boosted(pg)
 	}
 }

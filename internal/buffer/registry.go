@@ -1,0 +1,106 @@
+package buffer
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// PolicyConfig carries the construction context a replacement policy may
+// need: the pool's frame count (for sizing protection windows and priority
+// levels) and a lazily created random stream (for stochastic policies).
+type PolicyConfig struct {
+	// Frames is the buffer-pool capacity the policy will serve.
+	Frames int
+	// RNG returns the random stream a stochastic policy should draw from.
+	// It is called at most once, and only by policies that need randomness,
+	// so deterministic replays are unaffected by registering — or choosing —
+	// policies that never call it. May be nil for such policies.
+	RNG func() *rand.Rand
+}
+
+// PolicyFactory builds a replacement policy from its construction context.
+type PolicyFactory func(PolicyConfig) Policy
+
+var (
+	policyMu       sync.RWMutex
+	policyRegistry = map[string]PolicyFactory{}
+)
+
+// canonicalPolicyName folds case and separators so "Context-sensitive",
+// "context_sensitive", and "CONTEXT SENSITIVE" resolve identically.
+func canonicalPolicyName(name string) string {
+	name = strings.ToLower(strings.TrimSpace(name))
+	name = strings.ReplaceAll(name, "-", "")
+	name = strings.ReplaceAll(name, "_", "")
+	name = strings.ReplaceAll(name, " ", "")
+	return name
+}
+
+// RegisterPolicy adds a replacement-policy factory under name (and any
+// aliases), looked up case- and separator-insensitively. Registering a name
+// twice panics: policy names are part of the CLI surface and silent
+// replacement would make flag behavior order-dependent.
+func RegisterPolicy(name string, f PolicyFactory, aliases ...string) {
+	if f == nil {
+		panic("buffer: RegisterPolicy with nil factory")
+	}
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	for _, n := range append([]string{name}, aliases...) {
+		key := canonicalPolicyName(n)
+		if key == "" {
+			panic("buffer: RegisterPolicy with empty name")
+		}
+		if _, dup := policyRegistry[key]; dup {
+			panic(fmt.Sprintf("buffer: replacement policy %q registered twice", n))
+		}
+		policyRegistry[key] = f
+	}
+}
+
+// NewPolicyByName constructs the registered policy called name.
+func NewPolicyByName(name string, cfg PolicyConfig) (Policy, error) {
+	policyMu.RLock()
+	f, ok := policyRegistry[canonicalPolicyName(name)]
+	policyMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("buffer: unknown replacement policy %q (have %s)",
+			name, strings.Join(PolicyNames(), ", "))
+	}
+	return f(cfg), nil
+}
+
+// HasPolicy reports whether name resolves to a registered policy.
+func HasPolicy(name string) bool {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	_, ok := policyRegistry[canonicalPolicyName(name)]
+	return ok
+}
+
+// PolicyNames returns the registered policy names (canonical form, sorted).
+func PolicyNames() []string {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	out := make([]string, 0, len(policyRegistry))
+	for n := range policyRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	RegisterPolicy("lru", func(PolicyConfig) Policy { return NewLRU() })
+	RegisterPolicy("random", func(c PolicyConfig) Policy {
+		var rng *rand.Rand
+		if c.RNG != nil {
+			rng = c.RNG()
+		}
+		return NewRandom(rng, uint64(c.Frames/4))
+	}, "rand")
+	RegisterPolicy("clock", func(PolicyConfig) Policy { return NewClock() }, "secondchance")
+}

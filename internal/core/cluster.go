@@ -5,6 +5,7 @@ import (
 
 	"oodb/internal/buffer"
 	"oodb/internal/model"
+	"oodb/internal/obs"
 	"oodb/internal/storage"
 )
 
@@ -51,7 +52,7 @@ type Placement struct {
 // only; mechanics stay in storage.Manager and residency in buffer.Pool.
 type Clusterer struct {
 	Graph *model.Graph
-	Store *storage.Manager
+	Store storage.Backend
 	Pool  *buffer.Pool
 
 	Policy ClusterPolicy
@@ -79,6 +80,7 @@ type Clusterer struct {
 	frontier storage.PageID // sequential fill page (No_Cluster placements)
 	spill    storage.PageID // fallback fill page for non-composite loners
 	stats    ClusterStats
+	rec      obs.Recorder // nil = uninstrumented
 	scr      clusterScratch
 }
 
@@ -115,7 +117,7 @@ func (c *Clusterer) dirty2(a, b storage.PageID) []storage.PageID {
 }
 
 // NewClusterer returns a clusterer with the experiment defaults.
-func NewClusterer(g *model.Graph, st *storage.Manager, pool *buffer.Pool) *Clusterer {
+func NewClusterer(g *model.Graph, st storage.Backend, pool *buffer.Pool) *Clusterer {
 	return &Clusterer{
 		Graph: g, Store: st, Pool: pool,
 		Policy:        PolicyNoCluster,
@@ -126,11 +128,24 @@ func NewClusterer(g *model.Graph, st *storage.Manager, pool *buffer.Pool) *Clust
 	}
 }
 
+// Name implements ClusterStrategy.
+func (c *Clusterer) Name() string { return "affinity" }
+
 // Stats returns a copy of the clustering statistics.
 func (c *Clusterer) Stats() ClusterStats { return c.stats }
 
 // ResetStats zeroes the statistics.
 func (c *Clusterer) ResetStats() { c.stats = ClusterStats{} }
+
+// SetRecorder installs the instrumentation hook; nil disables it.
+func (c *Clusterer) SetRecorder(r obs.Recorder) { c.rec = r }
+
+// SetPolicy implements PolicyTuner: the adaptive extension switches the
+// candidate-pool policy at run time.
+func (c *Clusterer) SetPolicy(p ClusterPolicy) { c.Policy = p }
+
+// CurrentPolicy implements PolicyTuner.
+func (c *Clusterer) CurrentPolicy() ClusterPolicy { return c.Policy }
 
 func (c *Clusterer) ioBudget() int {
 	switch c.Policy.Mode {
@@ -283,6 +298,9 @@ func (c *Clusterer) inspect(pg storage.PageID, budget *int, ios []PhysIO) ([]Phy
 	}
 	*budget--
 	c.stats.CandidateIOs++
+	if c.rec != nil {
+		c.rec.Count(obs.ClusterCandidateIO, 1)
+	}
 	res, err := c.Pool.Access(pg)
 	if err != nil {
 		return ios, false, err
@@ -300,6 +318,9 @@ func (c *Clusterer) PlaceNew(o *model.Object) (Placement, error) {
 		return Placement{}, fmt.Errorf("core: object %d already placed", o.ID)
 	}
 	c.stats.Placements++
+	if c.rec != nil {
+		c.rec.Count(obs.ClusterPlacement, 1)
+	}
 	ChooseAttrImpls(c.Graph, o, c.AttrCost)
 
 	if c.Policy.Mode == NoCluster {
@@ -343,6 +364,9 @@ func (c *Clusterer) PlaceNew(o *model.Object) (Placement, error) {
 		}
 	}
 	c.stats.FrontierFalls++
+	if c.rec != nil {
+		c.rec.Count(obs.ClusterFrontierFall, 1)
+	}
 	return c.placeFallback(o, ios)
 }
 
@@ -478,6 +502,10 @@ func (c *Clusterer) trySplit(o *model.Object, pg storage.PageID, nextAffinity fl
 		return Placement{}, false, err
 	}
 	c.stats.Splits++
+	if c.rec != nil {
+		c.rec.Count(obs.ClusterSplit, 1)
+		c.rec.Cost(obs.ClusterSplit, part.Cut)
+	}
 	// The paper charges splits one extra I/O to flush the newly allocated
 	// page, plus an extra log record (added by the engine via DirtyPages).
 	ios = append(ios, WriteOf(newPg))
@@ -540,6 +568,9 @@ func (c *Clusterer) Recluster(o *model.Object) (Placement, error) {
 		return Placement{IOs: c.keepIOs(ios), Page: cur}, err
 	}
 	c.stats.Moves++
+	if c.rec != nil {
+		c.rec.Count(obs.ClusterMove, 1)
+	}
 	return Placement{
 		IOs:        c.keepIOs(ios),
 		Page:       bestPg,

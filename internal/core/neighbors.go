@@ -25,14 +25,14 @@ func containsPage(pgs []storage.PageID, pg storage.PageID) bool {
 // NeighborPages returns the distinct pages holding o's one-hop neighbors
 // along kind, excluding o's own page and unplaced neighbors, in traversal
 // order. limit bounds the result (0 means unbounded).
-func NeighborPages(g *model.Graph, st *storage.Manager, o *model.Object, kind model.RelKind, limit int) []storage.PageID {
+func NeighborPages(g *model.Graph, st storage.Backend, o *model.Object, kind model.RelKind, limit int) []storage.PageID {
 	return AppendNeighborPages(nil, g, st, o, kind, limit)
 }
 
 // AppendNeighborPages is NeighborPages accumulating into dst: the appended
 // pages are deduplicated against each other (not against dst's prior
 // contents) and limit bounds the number appended.
-func AppendNeighborPages(dst []storage.PageID, g *model.Graph, st *storage.Manager, o *model.Object, kind model.RelKind, limit int) []storage.PageID {
+func AppendNeighborPages(dst []storage.PageID, g *model.Graph, st storage.Backend, o *model.Object, kind model.RelKind, limit int) []storage.PageID {
 	own := st.PageOf(o.ID)
 	base := len(dst)
 	for i, cnt := 0, o.NeighborCount(kind); i < cnt; i++ {
@@ -98,12 +98,12 @@ func rankedKinds(o *model.Object, hints HintPolicy, hint Hint) []model.RelKind {
 // for correspondence, all corresponding objects; for inheritance, the
 // inheritance source. Without an active hint, the object's dominant
 // relationship kind is used.
-func PrefetchGroup(g *model.Graph, st *storage.Manager, o *model.Object, hints HintPolicy, hint Hint) []storage.PageID {
+func PrefetchGroup(g *model.Graph, st storage.Backend, o *model.Object, hints HintPolicy, hint Hint) []storage.PageID {
 	return AppendPrefetchGroup(nil, g, st, o, hints, hint)
 }
 
 // AppendPrefetchGroup is PrefetchGroup accumulating into dst.
-func AppendPrefetchGroup(dst []storage.PageID, g *model.Graph, st *storage.Manager, o *model.Object, hints HintPolicy, hint Hint) []storage.PageID {
+func AppendPrefetchGroup(dst []storage.PageID, g *model.Graph, st storage.Backend, o *model.Object, hints HintPolicy, hint Hint) []storage.PageID {
 	kind := o.Freq.Dominant()
 	if hints == UserHints && hint.Active {
 		kind = hint.Kind
@@ -159,13 +159,13 @@ func mergePages(a, b []storage.PageID) []storage.PageID {
 // its siblings is as valuable as placing it with its composite once the
 // composite's page is full; sibling pages are the "next best candidates" of
 // Section 2.1.
-func SiblingPages(g *model.Graph, st *storage.Manager, o *model.Object, limit int) []storage.PageID {
+func SiblingPages(g *model.Graph, st storage.Backend, o *model.Object, limit int) []storage.PageID {
 	return AppendSiblingPages(nil, g, st, o, limit)
 }
 
 // AppendSiblingPages is SiblingPages accumulating into dst, deduplicating
 // the appended pages against each other.
-func AppendSiblingPages(dst []storage.PageID, g *model.Graph, st *storage.Manager, o *model.Object, limit int) []storage.PageID {
+func AppendSiblingPages(dst []storage.PageID, g *model.Graph, st storage.Backend, o *model.Object, limit int) []storage.PageID {
 	own := st.PageOf(o.ID)
 	base := len(dst)
 	for _, comp := range o.Composites {
@@ -202,13 +202,13 @@ const ContextNeighborLimit = 4
 // ContextBoostPages returns the related pages the context-sensitive policy
 // raises on each access: the top pages along the object's two most traversed
 // relationship kinds, bounded by ContextNeighborLimit.
-func ContextBoostPages(g *model.Graph, st *storage.Manager, o *model.Object) []storage.PageID {
+func ContextBoostPages(g *model.Graph, st storage.Backend, o *model.Object) []storage.PageID {
 	return AppendContextBoostPages(nil, g, st, o, ContextNeighborLimit)
 }
 
 // ContextBoostPagesN is ContextBoostPages with an explicit page bound
 // (ablation knob; 0 disables boosting entirely).
-func ContextBoostPagesN(g *model.Graph, st *storage.Manager, o *model.Object, limit int) []storage.PageID {
+func ContextBoostPagesN(g *model.Graph, st storage.Backend, o *model.Object, limit int) []storage.PageID {
 	return AppendContextBoostPages(nil, g, st, o, limit)
 }
 
@@ -222,7 +222,7 @@ const contextBoostLocal = 16
 // neighbor pages, then merges them into dst, skipping pages an earlier kind
 // already contributed — the same two-stage semantics as the old
 // NeighborPages+mergePages pipeline, without the intermediate allocations.
-func AppendContextBoostPages(dst []storage.PageID, g *model.Graph, st *storage.Manager, o *model.Object, limit int) []storage.PageID {
+func AppendContextBoostPages(dst []storage.PageID, g *model.Graph, st storage.Backend, o *model.Object, limit int) []storage.PageID {
 	if limit <= 0 {
 		return dst
 	}

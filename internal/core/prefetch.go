@@ -3,28 +3,57 @@ package core
 import (
 	"oodb/internal/buffer"
 	"oodb/internal/model"
+	"oodb/internal/obs"
 	"oodb/internal/storage"
 )
 
+// PrefetchStats aggregates prefetch activity.
+type PrefetchStats struct {
+	GroupPages    int // pages in computed prefetch groups
+	PrefetchReads int // physical reads issued (within-DB only)
+	BoostsIssued  int // priority adjustments (within-buffer)
+}
+
 // Prefetcher implements the three prefetch scopes of Table 4.1 over the
-// structural neighborhoods of accessed objects.
+// structural neighborhoods of accessed objects. It is the reference
+// implementation of PrefetchStrategy.
 type Prefetcher struct {
 	Graph *model.Graph
-	Store *storage.Manager
+	Store storage.Backend
 	Pool  *buffer.Pool
 
 	Policy PrefetchPolicy
 	Hints  HintPolicy
 	Hint   Hint
 
-	// Stats.
+	// Stats. The fields stay public for direct consumers; Stats() is the
+	// PrefetchStrategy view.
 	GroupPages    int // pages in computed prefetch groups
 	PrefetchReads int // physical reads issued (within-DB only)
 	BoostsIssued  int // priority adjustments (within-buffer)
 
+	rec obs.Recorder // nil = uninstrumented
+
 	groupBuf []storage.PageID // reusable prefetch-group buffer
 	iosBuf   []PhysIO         // reusable I/O accumulator (within-DB)
 }
+
+// Stats implements PrefetchStrategy.
+func (pf *Prefetcher) Stats() PrefetchStats {
+	return PrefetchStats{
+		GroupPages:    pf.GroupPages,
+		PrefetchReads: pf.PrefetchReads,
+		BoostsIssued:  pf.BoostsIssued,
+	}
+}
+
+// ResetStats implements PrefetchStrategy.
+func (pf *Prefetcher) ResetStats() {
+	pf.GroupPages, pf.PrefetchReads, pf.BoostsIssued = 0, 0, 0
+}
+
+// SetRecorder installs the instrumentation hook; nil disables it.
+func (pf *Prefetcher) SetRecorder(r obs.Recorder) { pf.rec = r }
 
 // ExpandAccess converts a pool AccessResult into the physical I/Os it
 // implies: flush the dirty victim, then read the page.
@@ -62,6 +91,9 @@ func (pf *Prefetcher) OnAccess(o *model.Object) ([]PhysIO, error) {
 			if pf.Pool.Contains(pg) {
 				pf.Pool.Boost(pg)
 				pf.BoostsIssued++
+				if pf.rec != nil {
+					pf.rec.Count(obs.PrefetchBoost, 1)
+				}
 			}
 		}
 		return nil, nil
@@ -75,6 +107,9 @@ func (pf *Prefetcher) OnAccess(o *model.Object) ([]PhysIO, error) {
 			}
 			if !res.Hit {
 				pf.PrefetchReads++
+				if pf.rec != nil {
+					pf.rec.Count(obs.PrefetchRead, 1)
+				}
 			}
 			ios = AppendExpandAccess(ios, res, pg)
 			// Prefetched pages get the same high priority as the accessed

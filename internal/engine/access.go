@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"oodb/internal/buffer"
+	"oodb/internal/core"
+	"oodb/internal/model"
+	"oodb/internal/obs"
+	"oodb/internal/storage"
+	"oodb/internal/txlog"
+	"oodb/internal/workload"
+)
+
+// AccessResult is what the access layer hands back for one transaction: the
+// ordered physical I/O program, the background (prefetch) I/Os that load the
+// disks without serializing into the response path, the logical operation
+// count, and how many logical reads found their object already deleted.
+//
+// IOs and Background may be backed by the layer's reusable buffers: they are
+// valid until the next Execute call. Callers that need them longer must copy.
+type AccessResult struct {
+	IOs        []core.PhysIO
+	Background []core.PhysIO
+	Logical    int
+	NotFound   int
+}
+
+// AccessLayer is the seam between the timed simulation (engine) and the
+// functional storage stack: it turns one logical transaction request into
+// the physical I/O program, performing every graph, storage, buffer,
+// cluster, and log mutation as it goes. The stack type below — graph +
+// storage backend + buffer pool + cluster strategy + prefetch strategy +
+// log — is the default implementation.
+type AccessLayer interface {
+	Execute(txn int, req workload.Txn) (AccessResult, error)
+}
+
+// stack is the default AccessLayer: the layered storage stack the paper
+// describes, wired together behind the interface seams.
+type stack struct {
+	graph *model.Graph
+	store storage.Backend
+	pool  *buffer.Pool
+	clust core.ClusterStrategy
+	pf    core.PrefetchStrategy
+	log   *txlog.Manager
+	gen   *workload.Generator
+	rec   obs.Recorder // nil = uninstrumented
+
+	// boostContext enables the per-read context boosts (set when the
+	// replacement policy is the context-sensitive one); boostLimit is the
+	// configured bound (0 = core default, negative = disabled).
+	boostContext bool
+	boostLimit   int
+
+	nameSeq  int // created-object name sequence
+	notFound int // per-Execute logical reads of deleted objects
+
+	// pendingBG accumulates background (prefetch) I/Os generated while the
+	// current transaction executes.
+	pendingBG []core.PhysIO
+
+	// Hot-path scratch. The functional layer runs atomically per transaction
+	// inside the single-threaded event loop, and these buffers are consumed
+	// before it yields, so one set per stack suffices. (The physical I/O
+	// program itself cannot be scratch-backed: it stays live across the timed
+	// disk callbacks while other transactions execute.)
+	boostBuf  []storage.PageID // context-boost targets, drained per read
+	expandBuf []model.ObjectID // readClosure expansion targets
+	blockBuf  []model.ObjectID // checkout first-level components
+	leafBuf   []model.ObjectID // checkout second-level components
+}
+
+var _ AccessLayer = (*stack)(nil)
+
+// Execute implements AccessLayer.
+func (a *stack) Execute(txn int, req workload.Txn) (AccessResult, error) {
+	a.pendingBG = a.pendingBG[:0]
+	a.notFound = 0
+	ios, logical, err := a.execute(txn, req)
+	return AccessResult{
+		IOs:        ios,
+		Background: a.pendingBG,
+		Logical:    logical,
+		NotFound:   a.notFound,
+	}, err
+}

@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"io"
 
+	"oodb/internal/buffer"
 	"oodb/internal/core"
 	"oodb/internal/model"
+	"oodb/internal/obs"
 	"oodb/internal/workload"
 )
 
@@ -120,6 +122,24 @@ type Config struct {
 	// analysis of the simulated access stream (the modern analogue of the
 	// paper's OCT trace collection).
 	Trace io.Writer
+
+	// --- Layer seams ---
+
+	// ReplacementName, when non-empty, selects the buffer replacement policy
+	// from the name registry (e.g. "clock"), overriding the Replacement
+	// enum. The enum stays authoritative for the paper's three policies so
+	// existing configurations replay byte-identically.
+	ReplacementName string
+
+	// ClusterStrategy, when non-empty, selects the clustering strategy from
+	// the name registry (e.g. "noop"); empty means "affinity", the paper's
+	// algorithm.
+	ClusterStrategy string
+
+	// Recorder, when non-nil, receives per-layer instrumentation events
+	// from every component of the engine's stack (buffer, cluster,
+	// prefetch, storage, txlog, lock). Nil keeps the hot paths untouched.
+	Recorder obs.Recorder
 }
 
 // paperDBBytes and paperBuffers are the unscaled Table 4.1 values.
@@ -188,13 +208,27 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: ReadWriteRatio must be positive")
 	case c.LogBufBytes <= 0:
 		return fmt.Errorf("engine: LogBufBytes must be positive")
+	case c.ReplacementName != "" && !buffer.HasPolicy(c.ReplacementName):
+		return fmt.Errorf("engine: unknown replacement policy %q (have %v)",
+			c.ReplacementName, buffer.PolicyNames())
+	case c.ClusterStrategy != "" && !core.HasClusterStrategy(c.ClusterStrategy):
+		return fmt.Errorf("engine: unknown cluster strategy %q (have %v)",
+			c.ClusterStrategy, core.ClusterStrategyNames())
 	}
 	return nil
 }
 
 // Label summarizes the control parameters for report rows.
 func (c Config) Label() string {
-	return fmt.Sprintf("%s-%g %s/%s/%s %s+%s buf=%d",
+	repl := c.Replacement.String()
+	if c.ReplacementName != "" {
+		repl = c.ReplacementName
+	}
+	label := fmt.Sprintf("%s-%g %s/%s/%s %s+%s buf=%d",
 		c.Density.Short(), c.ReadWriteRatio,
-		c.Cluster, c.Split, c.Hints, c.Replacement, c.Prefetch, c.Buffers)
+		c.Cluster, c.Split, c.Hints, repl, c.Prefetch, c.Buffers)
+	if c.ClusterStrategy != "" {
+		label += " strat=" + c.ClusterStrategy
+	}
+	return label
 }

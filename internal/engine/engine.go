@@ -8,48 +8,39 @@ import (
 	"oodb/internal/core"
 	"oodb/internal/lock"
 	"oodb/internal/model"
+	"oodb/internal/obs"
 	"oodb/internal/sim"
 	"oodb/internal/storage"
 	"oodb/internal/txlog"
 	"oodb/internal/workload"
 )
 
-// Engine is one simulated DBMS server plus its client workstations.
+// Engine is one simulated DBMS server plus its client workstations. It owns
+// the timed layer (stations, users, transactions); all functional work goes
+// through the AccessLayer seam.
 type Engine struct {
 	cfg Config
 
-	sim   *sim.Sim
-	db    *workload.Database
-	graph *model.Graph
-	store *storage.Manager
-	pool  *buffer.Pool
-	clust *core.Clusterer
-	pf    *core.Prefetcher
-	log   *txlog.Manager
-	gen   *workload.Generator
+	sim    *sim.Sim
+	db     *workload.Database
+	graph  *model.Graph
+	store  storage.Backend
+	pool   *buffer.Pool
+	clust  core.ClusterStrategy
+	tuner  core.PolicyTuner // clust's run-time tuning hook; nil if untunable
+	pf     core.PrefetchStrategy
+	log    *txlog.Manager
+	gen    *workload.Generator
+	access AccessLayer
+	rec    obs.Recorder // nil = uninstrumented
 
 	cpu     *sim.Station
 	disks   []*sim.Station
 	logDisk *sim.Station
 	locks   *lock.Manager // nil when Config.Locking is false
 
-	wrkRNG  *rand.Rand // workload choices
-	nameSeq int
-	txnSeq  int
-
-	// pendingBG accumulates background (prefetch) I/Os generated while the
-	// current transaction executes; startTxn drains it to the disks.
-	pendingBG []core.PhysIO
-
-	// Hot-path scratch. The functional layer runs atomically per transaction
-	// inside the single-threaded event loop, and these buffers are consumed
-	// before it yields, so one set per engine suffices. (The physical I/O
-	// program itself cannot be scratch-backed: it stays live across the timed
-	// disk callbacks while other transactions execute.)
-	boostBuf  []storage.PageID // context-boost targets, drained per read
-	expandBuf []model.ObjectID // readClosure expansion targets
-	blockBuf  []model.ObjectID // checkout first-level components
-	leafBuf   []model.ObjectID // checkout second-level components
+	wrkRNG *rand.Rand // workload choices
+	txnSeq int
 
 	// adapt drives the phased-R/W and adaptive-clustering extensions; nil
 	// when neither is configured.
@@ -78,39 +69,82 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: generating database: %w", err)
 	}
 
-	var policy buffer.Policy
-	switch cfg.Replacement {
-	case core.ReplLRU:
-		policy = buffer.NewLRU()
-	case core.ReplRandom:
-		policy = buffer.NewRandom(s.Stream("random-replacement"), uint64(cfg.Buffers/4))
-	case core.ReplContext:
-		policy = core.NewContextPolicy(float64(cfg.Buffers) * 3 / 4)
-	default:
-		return nil, fmt.Errorf("engine: unknown replacement policy %v", cfg.Replacement)
+	// Replacement policies come from the name registry; the Table 4.1 enum
+	// maps onto registered names and Config.ReplacementName may select any
+	// other registered policy (e.g. "clock") directly.
+	replName := cfg.ReplacementName
+	if replName == "" {
+		switch cfg.Replacement {
+		case core.ReplLRU:
+			replName = "lru"
+		case core.ReplRandom:
+			replName = "random"
+		case core.ReplContext:
+			replName = "context-sensitive"
+		default:
+			return nil, fmt.Errorf("engine: unknown replacement policy %v", cfg.Replacement)
+		}
+	}
+	policy, err := buffer.NewPolicyByName(replName, buffer.PolicyConfig{
+		Frames: cfg.Buffers,
+		// Lazily created so deterministic replays are unaffected unless a
+		// stochastic policy actually draws from it.
+		RNG: func() *rand.Rand { return s.Stream("random-replacement") },
+	})
+	if err != nil {
+		return nil, err
 	}
 	pool := buffer.NewPool(cfg.Buffers, policy)
+	pool.SetRecorder(cfg.Recorder)
+	db.Store.SetRecorder(cfg.Recorder)
 
-	clust := core.NewClusterer(db.Graph, db.Store, pool)
-	clust.Policy = cfg.Cluster
-	clust.Split = cfg.Split
-	clust.Hints = cfg.Hints
-	clust.Hint = cfg.HintKind
-	clust.AttrCost.PageSize = cfg.PageSize
-	clust.NoSiblingCandidates = cfg.NoSiblingCandidates
+	// Clustering strategies come from their own registry; "affinity" is the
+	// paper's algorithm and the default.
+	stratName := cfg.ClusterStrategy
+	if stratName == "" {
+		stratName = "affinity"
+	}
+	clust, err := core.NewClusterStrategy(stratName, core.ClusterSeam{
+		Graph: db.Graph, Store: db.Store, Pool: pool,
+		Policy: cfg.Cluster, Split: cfg.Split,
+		Hints: cfg.Hints, Hint: cfg.HintKind,
+		PageSize:            cfg.PageSize,
+		NoSiblingCandidates: cfg.NoSiblingCandidates,
+		Recorder:            cfg.Recorder,
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	pf := &core.Prefetcher{
 		Graph: db.Graph, Store: db.Store, Pool: pool,
 		Policy: cfg.Prefetch, Hints: cfg.Hints, Hint: cfg.HintKind,
 	}
+	pf.SetRecorder(cfg.Recorder)
+
+	log := txlog.NewManager(cfg.LogBufBytes)
+	log.SetRecorder(cfg.Recorder)
 
 	e := &Engine{
 		cfg: cfg, sim: s, db: db, graph: db.Graph, store: db.Store,
 		pool: pool, clust: clust, pf: pf,
-		log:    txlog.NewManager(cfg.LogBufBytes),
+		log:    log,
+		rec:    cfg.Recorder,
 		wrkRNG: s.Stream("workload"),
 	}
+	e.tuner, _ = clust.(core.PolicyTuner)
 	e.gen = workload.NewGenerator(db, workload.DefaultParams(cfg.Density, cfg.ReadWriteRatio), e.wrkRNG)
+	// The context-sensitive policy is the one that consumes per-read
+	// structural boosts; other policies ignore them, so the access layer
+	// skips computing the boost set entirely.
+	_, boostContext := policy.(*core.ContextPolicy)
+	e.access = &stack{
+		graph: db.Graph, store: db.Store, pool: pool,
+		clust: clust, pf: pf, log: log, gen: e.gen,
+		rec:          cfg.Recorder,
+		boostContext: boostContext,
+		boostLimit:   cfg.ContextBoostLimit,
+	}
 	e.metrics.warmup = cfg.Warmup
 
 	e.cpu = sim.NewStation(s, "cpu", 1)
@@ -121,6 +155,7 @@ func New(cfg Config) (*Engine, error) {
 
 	if cfg.Locking {
 		e.locks = lock.NewManager()
+		e.locks.SetRecorder(cfg.Recorder)
 	}
 	if len(cfg.PhasedRW) > 0 || cfg.AdaptiveClustering {
 		e.adapt = newAdaptiveState(cfg)
@@ -216,13 +251,16 @@ func (e *Engine) startTxn(done func()) {
 		}
 	}
 	req := e.gen.Next()
-	if e.adapt != nil && e.cfg.AdaptiveClustering {
+	if e.adapt != nil && e.cfg.AdaptiveClustering && e.tuner != nil {
 		if observed := e.adapt.observe(req.Kind.IsWrite()); observed >= 0 {
-			if pol := e.adapt.policyFor(observed); pol != e.clust.Policy {
-				e.clust.Policy = pol
+			if pol := e.adapt.policyFor(observed); pol != e.tuner.CurrentPolicy() {
+				e.tuner.SetPolicy(pol)
 				e.adapt.Switches++
 			}
 		}
+	}
+	if e.rec != nil {
+		e.rec.Count(obs.EngineTxn, 1)
 	}
 
 	// Concurrency control first: the transaction queues on conflicting
@@ -238,8 +276,7 @@ func (e *Engine) runLocked(txn int, req workload.Txn, t0 sim.Time, done func()) 
 		e.fail(err)
 		return
 	}
-	e.pendingBG = e.pendingBG[:0]
-	ios, logicalOps, err := e.execute(txn, req)
+	res, err := e.access.Execute(txn, req)
 	if err2 := e.log.End(txn); err == nil {
 		err = err2
 	}
@@ -248,16 +285,22 @@ func (e *Engine) runLocked(txn int, req workload.Txn, t0 sim.Time, done func()) 
 		return
 	}
 
-	e.metrics.note(req.Kind, logicalOps, ios)
+	ios := res.IOs
+	e.metrics.notFound += res.NotFound
+	e.metrics.note(req.Kind, res.Logical, ios)
 	// Background prefetch I/Os load the disks (and are accounted) but do
-	// not serialize into this transaction's response path.
-	bg := append([]core.PhysIO(nil), e.pendingBG...)
+	// not serialize into this transaction's response path. Copied because
+	// res.Background is scratch-backed and the disk callbacks outlive it.
+	bg := append([]core.PhysIO(nil), res.Background...)
 	e.metrics.noteBackground(bg)
+	if e.rec != nil && len(bg) > 0 {
+		e.rec.Count(obs.EngineBackgroundIO, len(bg))
+	}
 	for _, io := range bg {
 		e.diskFor(io).Request(e.cfg.DiskServiceTime, nil)
 	}
 
-	cpuTime := e.cfg.CPUPerLogicalOp*float64(logicalOps) + e.cfg.CPUPerPhysIO*float64(len(ios)+len(bg))
+	cpuTime := e.cfg.CPUPerLogicalOp*float64(res.Logical) + e.cfg.CPUPerPhysIO*float64(len(ios)+len(bg))
 	e.cpu.Request(cpuTime, func() {
 		e.playIOs(ios, 0, func() {
 			if e.locks != nil {

@@ -33,21 +33,33 @@ func run(t *testing.T, cfg Config) Results {
 }
 
 func TestConfigValidation(t *testing.T) {
-	bad := []func(*Config){
-		func(c *Config) { c.DBBytes = 0 },
-		func(c *Config) { c.PageSize = -1 },
-		func(c *Config) { c.Users = 0 },
-		func(c *Config) { c.Disks = 0 },
-		func(c *Config) { c.Buffers = 0 },
-		func(c *Config) { c.Transactions = 0 },
-		func(c *Config) { c.ReadWriteRatio = 0 },
-		func(c *Config) { c.LogBufBytes = 0 },
+	// Each case invalidates exactly one field; the error must name it, so a
+	// misconfigured run fails with a diagnosis rather than a generic refusal.
+	bad := []struct {
+		field  string
+		mutate func(*Config)
+	}{
+		{"DBBytes", func(c *Config) { c.DBBytes = 0 }},
+		{"PageSize", func(c *Config) { c.PageSize = -1 }},
+		{"Users", func(c *Config) { c.Users = 0 }},
+		{"Disks", func(c *Config) { c.Disks = 0 }},
+		{"Buffers", func(c *Config) { c.Buffers = 0 }},
+		{"Transactions", func(c *Config) { c.Transactions = 0 }},
+		{"ReadWriteRatio", func(c *Config) { c.ReadWriteRatio = 0 }},
+		{"LogBufBytes", func(c *Config) { c.LogBufBytes = 0 }},
+		{"replacement policy", func(c *Config) { c.ReplacementName = "bogus" }},
+		{"cluster strategy", func(c *Config) { c.ClusterStrategy = "bogus" }},
 	}
-	for i, mutate := range bad {
+	for _, tc := range bad {
 		cfg := quickConfig(10)
-		mutate(&cfg)
-		if err := cfg.Validate(); err == nil {
-			t.Errorf("case %d: invalid config accepted", i)
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid config accepted", tc.field)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("%s: error %q does not name the field", tc.field, err)
 		}
 	}
 	if err := quickConfig(10).Validate(); err != nil {
@@ -55,6 +67,13 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if !strings.Contains(quickConfig(10).Label(), "med5") {
 		t.Error("label missing density")
+	}
+	// Registered names pass validation without constructing an engine.
+	cfg := quickConfig(10)
+	cfg.ReplacementName = "clock"
+	cfg.ClusterStrategy = "noop"
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("registry names rejected: %v", err)
 	}
 }
 

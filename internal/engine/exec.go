@@ -13,48 +13,48 @@ import (
 // ordered physical I/O program and the logical operation count. All graph,
 // storage, buffer, cluster, and log mutations happen here, atomically at
 // submission time; only the timing is simulated afterwards. Prefetch I/Os
-// gathered during execution land in e.pendingBG: they are *background*
+// gathered during execution land in a.pendingBG: they are *background*
 // work — dispatched to the disks for queueing load but not serialized into
 // the transaction's response path, the asynchrony that makes
 // prefetch-within-database worth its extra I/Os (Section 5.2).
-func (e *Engine) execute(txn int, req workload.Txn) (ios []core.PhysIO, logical int, err error) {
+func (a *stack) execute(txn int, req workload.Txn) (ios []core.PhysIO, logical int, err error) {
 	switch req.Kind {
 	case workload.QSimpleLookup:
-		return e.readClosure(req.Target, nil)
+		return a.readClosure(req.Target, nil)
 	case workload.QComponentRetrieval:
-		return e.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
+		return a.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
 			return o.Components
 		})
 	case workload.QCompositeRetrieval:
-		return e.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
+		return a.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
 			return o.Composites
 		})
 	case workload.QDescendantVersion:
-		return e.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
+		return a.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
 			return o.Descendants
 		})
 	case workload.QAncestorVersion:
-		return e.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
+		return a.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
 			return o.Neighbors(model.VersionAncestor)
 		})
 	case workload.QCorresponding:
-		return e.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
+		return a.readClosure(req.Target, func(o *model.Object) []model.ObjectID {
 			return o.Correspondents
 		})
 	case workload.QInsert:
-		return e.execInsert(txn, req)
+		return a.execInsert(txn, req)
 	case workload.QUpdate:
-		return e.execUpdate(txn, req)
+		return a.execUpdate(txn, req)
 	case workload.QStructUpdate:
-		return e.execStructUpdate(txn, req)
+		return a.execStructUpdate(txn, req)
 	case workload.QDerive:
-		return e.execDerive(txn, req)
+		return a.execDerive(txn, req)
 	case workload.QScan:
-		return e.execScan(req)
+		return a.execScan(req)
 	case workload.QCheckout:
-		return e.execCheckout(req)
+		return a.execCheckout(req)
 	case workload.QDelete:
-		return e.execDelete(txn, req)
+		return a.execDelete(txn, req)
 	}
 	return nil, 0, fmt.Errorf("engine: unknown query kind %v", req.Kind)
 }
@@ -65,20 +65,20 @@ func (e *Engine) execute(txn int, req workload.Txn) (ios []core.PhysIO, logical 
 // relevance). When prefetch is true — the touched object is the root of a
 // navigation, not one of its expansion targets — the prefetch policy runs
 // too, accumulating its I/Os as background work.
-func (e *Engine) readObject(dst []core.PhysIO, id model.ObjectID, prefetch, boost bool) ([]core.PhysIO, error) {
-	o := e.graph.Object(id)
+func (a *stack) readObject(dst []core.PhysIO, id model.ObjectID, prefetch, boost bool) ([]core.PhysIO, error) {
+	o := a.graph.Object(id)
 	if o == nil {
 		// The object was deleted between transaction generation and
 		// execution (a lock wait can reorder them). A real DBMS returns
 		// not-found; the lookup still costs a logical operation but no I/O.
-		e.metrics.notFound++
+		a.notFound++
 		return dst, nil
 	}
-	pg := e.store.PageOf(id)
+	pg := a.store.PageOf(id)
 	if pg == storage.NilPage {
 		return dst, fmt.Errorf("engine: object %d is unplaced", id)
 	}
-	res, err := e.pool.Access(pg)
+	res, err := a.pool.Access(pg)
 	if err != nil {
 		return dst, err
 	}
@@ -86,22 +86,22 @@ func (e *Engine) readObject(dst []core.PhysIO, id model.ObjectID, prefetch, boos
 
 	// The context-sensitive replacement policy uses structural knowledge on
 	// every access: pages related to the touched object gain priority.
-	if boost && e.cfg.Replacement == core.ReplContext {
-		limit := e.cfg.ContextBoostLimit
+	if boost && a.boostContext {
+		limit := a.boostLimit
 		if limit == 0 {
 			limit = core.ContextNeighborLimit
 		}
-		e.boostBuf = core.AppendContextBoostPages(e.boostBuf[:0], e.graph, e.store, o, limit)
-		for _, rp := range e.boostBuf {
-			e.pool.Boost(rp)
+		a.boostBuf = core.AppendContextBoostPages(a.boostBuf[:0], a.graph, a.store, o, limit)
+		for _, rp := range a.boostBuf {
+			a.pool.Boost(rp)
 		}
 	}
 	if prefetch {
-		pfIOs, err := e.pf.OnAccess(o)
+		pfIOs, err := a.pf.OnAccess(o)
 		if err != nil {
 			return dst, err
 		}
-		e.pendingBG = append(e.pendingBG, pfIOs...)
+		a.pendingBG = append(a.pendingBG, pfIOs...)
 	}
 	return dst, nil
 }
@@ -110,20 +110,20 @@ func (e *Engine) readObject(dst []core.PhysIO, id model.ObjectID, prefetch, boos
 // returns — the shape of all six read query types. Prefetching fires on
 // the navigation root ("touching an object causes the page containing it
 // and the pages containing its immediate subcomponents to be brought in").
-func (e *Engine) readClosure(target model.ObjectID, expand func(*model.Object) []model.ObjectID) ([]core.PhysIO, int, error) {
-	ios, err := e.readObject(nil, target, true, true)
+func (a *stack) readClosure(target model.ObjectID, expand func(*model.Object) []model.ObjectID) ([]core.PhysIO, int, error) {
+	ios, err := a.readObject(nil, target, true, true)
 	if err != nil {
 		return nil, 0, err
 	}
 	logical := 1
-	o := e.graph.Object(target)
+	o := a.graph.Object(target)
 	if expand != nil && o != nil {
 		// Copy: prefetch/boost paths never mutate relationship slices, but
 		// being defensive here is cheap and keeps the invariant local.
-		targets := append(e.expandBuf[:0], expand(o)...)
-		e.expandBuf = targets
+		targets := append(a.expandBuf[:0], expand(o)...)
+		a.expandBuf = targets
 		for _, c := range targets {
-			ios, err = e.readObject(ios, c, false, true)
+			ios, err = a.readObject(ios, c, false, true)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -135,15 +135,15 @@ func (e *Engine) readClosure(target model.ObjectID, expand func(*model.Object) [
 
 // ensureDirty marks pg dirty, re-fetching it first if a later access of the
 // same transaction evicted it.
-func (e *Engine) ensureDirty(dst []core.PhysIO, pg storage.PageID) ([]core.PhysIO, error) {
-	if !e.pool.Contains(pg) {
-		res, err := e.pool.Access(pg)
+func (a *stack) ensureDirty(dst []core.PhysIO, pg storage.PageID) ([]core.PhysIO, error) {
+	if !a.pool.Contains(pg) {
+		res, err := a.pool.Access(pg)
 		if err != nil {
 			return dst, err
 		}
 		dst = core.AppendExpandAccess(dst, res, pg)
 	}
-	if err := e.pool.MarkDirty(pg); err != nil {
+	if err := a.pool.MarkDirty(pg); err != nil {
 		return dst, err
 	}
 	return dst, nil
@@ -151,8 +151,8 @@ func (e *Engine) ensureDirty(dst []core.PhysIO, pg storage.PageID) ([]core.PhysI
 
 // logAppend charges the log manager and converts its physical I/O count
 // into log-disk writes.
-func (e *Engine) logAppend(dst []core.PhysIO, txn int, objSize int, pg storage.PageID) ([]core.PhysIO, error) {
-	n, err := e.log.Append(txn, objSize, pg)
+func (a *stack) logAppend(dst []core.PhysIO, txn int, objSize int, pg storage.PageID) ([]core.PhysIO, error) {
+	n, err := a.log.Append(txn, objSize, pg)
 	if err != nil {
 		return dst, err
 	}
@@ -165,72 +165,72 @@ func (e *Engine) logAppend(dst []core.PhysIO, txn int, objSize int, pg storage.P
 // finishPlacement applies the bookkeeping every object-producing write
 // shares: dirty pages, log records (one per dirty page, sized by the
 // object; a split's extra page is the paper's "extra log record").
-func (e *Engine) finishPlacement(txn int, o *model.Object, pl core.Placement, ios []core.PhysIO) ([]core.PhysIO, error) {
+func (a *stack) finishPlacement(txn int, o *model.Object, pl core.Placement, ios []core.PhysIO) ([]core.PhysIO, error) {
 	ios = append(ios, pl.IOs...)
 	var err error
 	for _, pg := range pl.DirtyPages {
-		if ios, err = e.ensureDirty(ios, pg); err != nil {
+		if ios, err = a.ensureDirty(ios, pg); err != nil {
 			return nil, err
 		}
-		if ios, err = e.logAppend(ios, txn, o.Size, pg); err != nil {
+		if ios, err = a.logAppend(ios, txn, o.Size, pg); err != nil {
 			return nil, err
 		}
 	}
 	return ios, nil
 }
 
-func (e *Engine) execInsert(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+func (a *stack) execInsert(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
 	parent := req.AttachTo
-	ios, err := e.readObject(nil, parent, true, true)
+	ios, err := a.readObject(nil, parent, true, true)
 	if err != nil {
 		return nil, 0, err
 	}
-	if e.graph.Object(parent) == nil {
+	if a.graph.Object(parent) == nil {
 		return ios, 1, nil // composite deleted before the insert landed
 	}
-	e.nameSeq++
-	o, err := e.graph.NewObject(fmt.Sprintf("n%d", e.nameSeq), 1, req.NewType)
+	a.nameSeq++
+	o, err := a.graph.NewObject(fmt.Sprintf("n%d", a.nameSeq), 1, req.NewType)
 	if err != nil {
 		return nil, 0, err
 	}
-	if err := e.graph.Attach(parent, o.ID); err != nil {
+	if err := a.graph.Attach(parent, o.ID); err != nil {
 		return nil, 0, err
 	}
-	pl, err := e.clust.PlaceNew(o)
+	pl, err := a.clust.PlaceNew(o)
 	if err != nil {
 		return nil, 0, err
 	}
-	ios, err = e.finishPlacement(txn, o, pl, ios)
+	ios, err = a.finishPlacement(txn, o, pl, ios)
 	if err != nil {
 		return nil, 0, err
 	}
 	// The composite's component list changed too.
-	ios, err = e.ensureDirty(ios, e.store.PageOf(parent))
+	ios, err = a.ensureDirty(ios, a.store.PageOf(parent))
 	if err != nil {
 		return nil, 0, err
 	}
-	ios, err = e.logAppend(ios, txn, e.graph.Object(parent).Size, e.store.PageOf(parent))
+	ios, err = a.logAppend(ios, txn, a.graph.Object(parent).Size, a.store.PageOf(parent))
 	if err != nil {
 		return nil, 0, err
 	}
-	e.gen.NoteCreated(o.ID, o.Type)
+	a.gen.NoteCreated(o.ID, o.Type)
 	return ios, 2, nil
 }
 
-func (e *Engine) execUpdate(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
-	ios, err := e.readObject(nil, req.Target, true, true)
+func (a *stack) execUpdate(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+	ios, err := a.readObject(nil, req.Target, true, true)
 	if err != nil {
 		return nil, 0, err
 	}
-	if e.graph.Object(req.Target) == nil {
+	if a.graph.Object(req.Target) == nil {
 		return ios, 1, nil // deleted before the update landed
 	}
-	pg := e.store.PageOf(req.Target)
-	ios, err = e.ensureDirty(ios, pg)
+	pg := a.store.PageOf(req.Target)
+	ios, err = a.ensureDirty(ios, pg)
 	if err != nil {
 		return nil, 0, err
 	}
-	ios, err = e.logAppend(ios, txn, e.graph.Object(req.Target).Size, pg)
+	ios, err = a.logAppend(ios, txn, a.graph.Object(req.Target).Size, pg)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -240,35 +240,35 @@ func (e *Engine) execUpdate(txn int, req workload.Txn) ([]core.PhysIO, int, erro
 // execStructUpdate re-links Target under AttachTo (or detaches it if the
 // link already exists) and runs the run-time reclustering algorithm on the
 // restructured object.
-func (e *Engine) execStructUpdate(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
-	ios, err := e.readObject(nil, req.Target, true, true)
+func (a *stack) execStructUpdate(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+	ios, err := a.readObject(nil, req.Target, true, true)
 	if err != nil {
 		return nil, 0, err
 	}
-	ios, err = e.readObject(ios, req.AttachTo, false, true)
+	ios, err = a.readObject(ios, req.AttachTo, false, true)
 	if err != nil {
 		return nil, 0, err
 	}
 
-	o := e.graph.Object(req.Target)
-	parent := e.graph.Object(req.AttachTo)
+	o := a.graph.Object(req.Target)
+	parent := a.graph.Object(req.AttachTo)
 	if o == nil || parent == nil {
 		return ios, 2, nil // an end was deleted before the relink landed
 	}
 	if req.Target == req.AttachTo {
 		// Degenerate draw; treat as a plain update.
-		return e.execUpdate(txn, req)
+		return a.execUpdate(txn, req)
 	}
-	err = e.graph.Attach(parent.ID, o.ID)
+	err = a.graph.Attach(parent.ID, o.ID)
 	if err == model.ErrDuplicateLink {
-		err = e.graph.Detach(parent.ID, o.ID)
+		err = a.graph.Detach(parent.ID, o.ID)
 	}
 	if err != nil {
 		return nil, 0, err
 	}
 
 	// Run-time reclustering: the structure of o changed.
-	pl, err := e.clust.Recluster(o)
+	pl, err := a.clust.Recluster(o)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -276,23 +276,23 @@ func (e *Engine) execStructUpdate(txn int, req workload.Txn) ([]core.PhysIO, int
 	dirty := pl.DirtyPages
 	var one [1]storage.PageID
 	if len(dirty) == 0 {
-		one[0] = e.store.PageOf(o.ID)
+		one[0] = a.store.PageOf(o.ID)
 		dirty = one[:]
 	}
 	for _, pg := range dirty {
-		if ios, err = e.ensureDirty(ios, pg); err != nil {
+		if ios, err = a.ensureDirty(ios, pg); err != nil {
 			return nil, 0, err
 		}
-		if ios, err = e.logAppend(ios, txn, o.Size, pg); err != nil {
+		if ios, err = a.logAppend(ios, txn, o.Size, pg); err != nil {
 			return nil, 0, err
 		}
 	}
 	// The composite's component list changed as well.
-	ppg := e.store.PageOf(parent.ID)
-	if ios, err = e.ensureDirty(ios, ppg); err != nil {
+	ppg := a.store.PageOf(parent.ID)
+	if ios, err = a.ensureDirty(ios, ppg); err != nil {
 		return nil, 0, err
 	}
-	if ios, err = e.logAppend(ios, txn, parent.Size, ppg); err != nil {
+	if ios, err = a.logAppend(ios, txn, parent.Size, ppg); err != nil {
 		return nil, 0, err
 	}
 	return ios, 2, nil
@@ -301,11 +301,11 @@ func (e *Engine) execStructUpdate(txn int, req workload.Txn) ([]core.PhysIO, int
 // execScan performs a batch-tool sweep: every target is read without
 // prefetching and without asserting structural relevance to the buffer
 // manager.
-func (e *Engine) execScan(req workload.Txn) ([]core.PhysIO, int, error) {
+func (a *stack) execScan(req workload.Txn) ([]core.PhysIO, int, error) {
 	var ios []core.PhysIO
 	var err error
 	for _, id := range req.Scan {
-		if ios, err = e.readObject(ios, id, false, false); err != nil {
+		if ios, err = a.readObject(ios, id, false, false); err != nil {
 			return nil, 0, err
 		}
 	}
@@ -316,31 +316,31 @@ func (e *Engine) execScan(req workload.Txn) ([]core.PhysIO, int, error) {
 // root, every component, and every component's component — the expensive
 // "loading a large object hierarchy into memory" the paper's introduction
 // motivates. Prefetching fires per touched composite.
-func (e *Engine) execCheckout(req workload.Txn) ([]core.PhysIO, int, error) {
-	ios, err := e.readObject(nil, req.Target, true, true)
+func (a *stack) execCheckout(req workload.Txn) ([]core.PhysIO, int, error) {
+	ios, err := a.readObject(nil, req.Target, true, true)
 	if err != nil {
 		return nil, 0, err
 	}
 	logical := 1
-	root := e.graph.Object(req.Target)
+	root := a.graph.Object(req.Target)
 	if root == nil {
 		return ios, logical, nil
 	}
-	blocks := append(e.blockBuf[:0], root.Components...)
-	e.blockBuf = blocks
+	blocks := append(a.blockBuf[:0], root.Components...)
+	a.blockBuf = blocks
 	for _, b := range blocks {
-		if ios, err = e.readObject(ios, b, true, true); err != nil {
+		if ios, err = a.readObject(ios, b, true, true); err != nil {
 			return nil, 0, err
 		}
 		logical++
-		bo := e.graph.Object(b)
+		bo := a.graph.Object(b)
 		if bo == nil {
 			continue
 		}
-		leaves := append(e.leafBuf[:0], bo.Components...)
-		e.leafBuf = leaves
+		leaves := append(a.leafBuf[:0], bo.Components...)
+		a.leafBuf = leaves
 		for _, l := range leaves {
-			if ios, err = e.readObject(ios, l, false, true); err != nil {
+			if ios, err = a.readObject(ios, l, false, true); err != nil {
 				return nil, 0, err
 			}
 			logical++
@@ -354,69 +354,69 @@ func (e *Engine) execCheckout(req workload.Txn) ([]core.PhysIO, int, error) {
 // and the graph unlinks it. Objects that still anchor structure cannot be
 // deleted; the transaction degrades to a plain update, the way a real tool
 // would fail the delete and fall back to marking the object obsolete.
-func (e *Engine) execDelete(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
-	o := e.graph.Object(req.Target)
+func (a *stack) execDelete(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+	o := a.graph.Object(req.Target)
 	if o == nil {
 		// Deleted by an earlier transaction between generation and
 		// execution; nothing to do but account the lookup attempt.
 		return nil, 1, nil
 	}
 	if len(o.Components) > 0 || len(o.Descendants) > 0 {
-		return e.execUpdate(txn, req)
+		return a.execUpdate(txn, req)
 	}
-	ios, err := e.readObject(nil, req.Target, false, false)
+	ios, err := a.readObject(nil, req.Target, false, false)
 	if err != nil {
 		return nil, 0, err
 	}
-	pg := e.store.PageOf(req.Target)
-	ios, err = e.ensureDirty(ios, pg)
+	pg := a.store.PageOf(req.Target)
+	ios, err = a.ensureDirty(ios, pg)
 	if err != nil {
 		return nil, 0, err
 	}
-	ios, err = e.logAppend(ios, txn, o.Size, pg)
+	ios, err = a.logAppend(ios, txn, o.Size, pg)
 	if err != nil {
 		return nil, 0, err
 	}
-	if err := e.store.Remove(req.Target); err != nil {
+	if err := a.store.Remove(req.Target); err != nil {
 		return nil, 0, err
 	}
-	if err := e.graph.DeleteObject(req.Target); err != nil {
+	if err := a.graph.DeleteObject(req.Target); err != nil {
 		return nil, 0, err
 	}
 	return ios, 1, nil
 }
 
 // execDerive checks in a new version of Target.
-func (e *Engine) execDerive(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
-	ios, err := e.readObject(nil, req.Target, true, true)
+func (a *stack) execDerive(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+	ios, err := a.readObject(nil, req.Target, true, true)
 	if err != nil {
 		return nil, 0, err
 	}
-	if e.graph.Object(req.Target) == nil {
+	if a.graph.Object(req.Target) == nil {
 		return ios, 1, nil // ancestor deleted before the checkin landed
 	}
-	o, err := e.graph.Derive(req.Target)
+	o, err := a.graph.Derive(req.Target)
 	if err != nil {
 		return nil, 0, err
 	}
-	pl, err := e.clust.PlaceNew(o)
+	pl, err := a.clust.PlaceNew(o)
 	if err != nil {
 		return nil, 0, err
 	}
-	ios, err = e.finishPlacement(txn, o, pl, ios)
+	ios, err = a.finishPlacement(txn, o, pl, ios)
 	if err != nil {
 		return nil, 0, err
 	}
 	// The ancestor's descendant list changed.
-	apg := e.store.PageOf(req.Target)
-	ios, err = e.ensureDirty(ios, apg)
+	apg := a.store.PageOf(req.Target)
+	ios, err = a.ensureDirty(ios, apg)
 	if err != nil {
 		return nil, 0, err
 	}
-	ios, err = e.logAppend(ios, txn, e.graph.Object(req.Target).Size, apg)
+	ios, err = a.logAppend(ios, txn, a.graph.Object(req.Target).Size, apg)
 	if err != nil {
 		return nil, 0, err
 	}
-	e.gen.NoteCreated(o.ID, o.Type)
+	a.gen.NoteCreated(o.ID, o.Type)
 	return ios, 2, nil
 }

@@ -32,14 +32,14 @@ func (e *Engine) exec(t *testing.T, req workload.Txn) ([]core.PhysIO, int) {
 	if err := e.log.Begin(txn); err != nil {
 		t.Fatal(err)
 	}
-	ios, logical, err := e.execute(txn, req)
+	res, err := e.access.Execute(txn, req)
 	if err != nil {
 		t.Fatalf("execute(%v): %v", req.Kind, err)
 	}
 	if err := e.log.End(txn); err != nil {
 		t.Fatal(err)
 	}
-	return ios, logical
+	return res.IOs, res.Logical
 }
 
 func countLog(ios []core.PhysIO) int {
@@ -193,7 +193,7 @@ func TestExecUnknownKind(t *testing.T) {
 	if err := e.log.Begin(99); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := e.execute(99, workload.Txn{Kind: workload.NumQueryKinds}); err == nil {
+	if _, err := e.access.Execute(99, workload.Txn{Kind: workload.NumQueryKinds}); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
 }

@@ -53,6 +53,17 @@ type Options struct {
 	// Verbose, when non-nil, receives progress lines. The harness
 	// serializes calls, so the callback needs no locking of its own.
 	Verbose func(string)
+
+	// ClusterStrategy selects the clustering strategy by registry name for
+	// every run in the experiment ("" = "affinity", the paper's algorithm).
+	ClusterStrategy string
+
+	// ReplacementLow and ReplacementHigh override the factorial design's
+	// buffer-replacement factor levels by registry name ("" keeps the
+	// paper's LRU / Context-sensitive pair). They let the Section 6 analysis
+	// rank any registered policy, e.g. "clock".
+	ReplacementLow  string
+	ReplacementHigh string
 }
 
 // DefaultOptions returns the quick-run options used by the benchmarks.
@@ -126,13 +137,15 @@ func (h *Harness) baseConfig() engine.Config {
 	cfg := engine.DefaultConfig(h.opt.Scale)
 	cfg.Transactions = h.opt.Transactions
 	cfg.Seed = h.opt.Seed
+	cfg.ClusterStrategy = h.opt.ClusterStrategy
 	return cfg
 }
 
 func key(cfg engine.Config) string {
-	return fmt.Sprintf("%v|%d|%d|%d|%v|%v|%d|%v", cfg.Label(), cfg.Transactions, cfg.Seed,
+	return fmt.Sprintf("%v|%d|%d|%d|%v|%v|%d|%v|%s|%s", cfg.Label(), cfg.Transactions, cfg.Seed,
 		cfg.DBBytes, cfg.PhasedRW, cfg.AdaptiveClustering,
-		cfg.ContextBoostLimit, cfg.NoSiblingCandidates)
+		cfg.ContextBoostLimit, cfg.NoSiblingCandidates,
+		cfg.ReplacementName, cfg.ClusterStrategy)
 }
 
 // Run simulates cfg (memoized), averaging over the configured number of

@@ -210,7 +210,7 @@ func TestFactorialConfigMapping(t *testing.T) {
 	if lo.Buffers >= hi.Buffers {
 		t.Fatal("buffer levels wrong")
 	}
-	d := factorialDesign()
+	d := h.factorialDesign()
 	if len(d.Factors) != 8 || d.Runs() != 256 {
 		t.Fatalf("design: %d factors", len(d.Factors))
 	}

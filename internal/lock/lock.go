@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"oodb/internal/model"
+	"oodb/internal/obs"
 )
 
 // Mode is a lock mode.
@@ -62,7 +63,11 @@ type Manager struct {
 	// held tracks each transaction's locked objects for O(1) release.
 	held  map[int][]model.ObjectID
 	stats Stats
+	rec   obs.Recorder // nil = uninstrumented
 }
+
+// SetRecorder installs the instrumentation hook; nil disables it.
+func (m *Manager) SetRecorder(r obs.Recorder) { m.rec = r }
 
 // NewManager returns an empty lock manager.
 func NewManager() *Manager {
@@ -126,12 +131,18 @@ func (m *Manager) Acquire(txn int, obj model.ObjectID, mode Mode, grant func()) 
 	if compatible(e, txn, mode) {
 		m.grantTo(e, txn, obj, mode)
 		m.stats.Granted++
+		if m.rec != nil {
+			m.rec.Count(obs.LockGrant, 1)
+		}
 		return true, nil
 	}
 	if grant == nil {
 		return false, fmt.Errorf("lock: conflicting request without grant callback")
 	}
 	m.stats.Conflicts++
+	if m.rec != nil {
+		m.rec.Count(obs.LockConflict, 1)
+	}
 	e.queue = append(e.queue, waiter{txn: txn, mode: mode, grant: grant})
 	if len(e.queue) > m.stats.MaxWaiters {
 		m.stats.MaxWaiters = len(e.queue)
@@ -184,6 +195,9 @@ func (m *Manager) admit(e *entry, obj model.ObjectID) {
 		e.queue = e.queue[1:]
 		m.grantTo(e, w.txn, obj, w.mode)
 		m.stats.Granted++
+		if m.rec != nil {
+			m.rec.Count(obs.LockGrant, 1)
+		}
 		grants = append(grants, w.grant)
 	}
 	for _, g := range grants {

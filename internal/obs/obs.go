@@ -1,0 +1,238 @@
+// Package obs provides the zero-allocation, layer-local instrumentation
+// seam threaded through the storage stack. Every layer (engine, core,
+// buffer, storage, txlog, lock) reports its own events — candidate-search
+// I/Os, split invocations and cut costs, boost/evict decisions,
+// log-coalesce hits — through a Recorder the engine owns.
+//
+// The hook sites are gated on a nil recorder, so the default (uninstrumented)
+// path costs one predictable branch and zero allocations; events are plain
+// enum values and counts are passed by value, so even the counting
+// implementation allocates nothing per event.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Event identifies one layer-local occurrence. The prefix names the layer
+// that reports it.
+type Event uint8
+
+const (
+	// --- buffer ---
+
+	// PoolHit is a buffer-pool access satisfied by a resident page.
+	PoolHit Event = iota
+	// PoolMiss is an access that required bringing the page in.
+	PoolMiss
+	// PoolEvict is a replacement-policy eviction decision.
+	PoolEvict
+	// PoolFlush is a dirty-victim write-back forced by an eviction.
+	PoolFlush
+	// PoolBoost is a priority boost delivered to a resident page.
+	PoolBoost
+
+	// --- core: clustering ---
+
+	// ClusterPlacement is one PlaceNew invocation.
+	ClusterPlacement
+	// ClusterCandidateIO is a physical read spent inspecting a candidate
+	// page during placement or reclustering.
+	ClusterCandidateIO
+	// ClusterSplit is a page split actually performed; its cut cost
+	// accumulates under the same event via Cost.
+	ClusterSplit
+	// ClusterFrontierFall is a clustered placement that found no usable
+	// candidate and fell back to the allocation frontier.
+	ClusterFrontierFall
+	// ClusterMove is an object relocated by run-time reclustering.
+	ClusterMove
+
+	// --- core: prefetch ---
+
+	// PrefetchRead is a physical read issued by prefetch-within-database.
+	PrefetchRead
+	// PrefetchBoost is a priority adjustment issued by
+	// prefetch-within-buffer.
+	PrefetchBoost
+
+	// --- storage ---
+
+	// StoreAllocPage is a page allocation (fresh or recycled).
+	StoreAllocPage
+	// StoreMove is an object moved between pages.
+	StoreMove
+	// StoreSparseSpill is an object-to-page mapping that spilled into the
+	// sparse overflow map instead of the dense slice.
+	StoreSparseSpill
+
+	// --- txlog ---
+
+	// LogCoalesce is an append whose before-image was already logged by the
+	// same transaction — the write rode for free (Figure 5.5's effect).
+	LogCoalesce
+	// LogBeforeImage is a physical I/O logging a page's original image.
+	LogBeforeImage
+	// LogBufferFlush is a physical I/O from the circular buffer filling.
+	LogBufferFlush
+
+	// --- lock ---
+
+	// LockGrant is an immediately granted lock request.
+	LockGrant
+	// LockConflict is a lock request that had to queue.
+	LockConflict
+
+	// --- engine ---
+
+	// EngineTxn is one executed transaction.
+	EngineTxn
+	// EngineBackgroundIO is an asynchronous prefetch I/O dispatched to the
+	// disks outside any transaction's response path.
+	EngineBackgroundIO
+
+	// NumEvents bounds the event space; counting recorders size their
+	// arrays with it.
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{
+	PoolHit:             "pool.hit",
+	PoolMiss:            "pool.miss",
+	PoolEvict:           "pool.evict",
+	PoolFlush:           "pool.flush",
+	PoolBoost:           "pool.boost",
+	ClusterPlacement:    "cluster.placement",
+	ClusterCandidateIO:  "cluster.candidate_io",
+	ClusterSplit:        "cluster.split",
+	ClusterFrontierFall: "cluster.frontier_fall",
+	ClusterMove:         "cluster.move",
+	PrefetchRead:        "prefetch.read",
+	PrefetchBoost:       "prefetch.boost",
+	StoreAllocPage:      "store.alloc_page",
+	StoreMove:           "store.move",
+	StoreSparseSpill:    "store.sparse_spill",
+	LogCoalesce:         "log.coalesce",
+	LogBeforeImage:      "log.before_image",
+	LogBufferFlush:      "log.buffer_flush",
+	LockGrant:           "lock.grant",
+	LockConflict:        "lock.conflict",
+	EngineTxn:           "engine.txn",
+	EngineBackgroundIO:  "engine.background_io",
+}
+
+// String names the event as "layer.event".
+func (e Event) String() string {
+	if e < NumEvents {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("obs.Event(%d)", uint8(e))
+}
+
+// Recorder receives layer-local events. Implementations must be cheap: hook
+// sites sit on hot paths and call with plain values only. A nil Recorder
+// field means "not instrumented"; hook sites gate on that, so implementations
+// never see a nil receiver dance.
+type Recorder interface {
+	// Count adds n occurrences of e.
+	Count(e Event, n int)
+	// Cost accumulates a real-valued cost under e (e.g. a split's cut cost).
+	Cost(e Event, v float64)
+}
+
+// Nop is the no-op Recorder. The engine treats a nil Recorder as disabled
+// and skips hook calls entirely; Nop exists for callers that want to pass an
+// explicit recorder without counting anything (tests, embedding).
+type Nop struct{}
+
+// Count implements Recorder.
+func (Nop) Count(Event, int) {}
+
+// Cost implements Recorder.
+func (Nop) Cost(Event, float64) {}
+
+// Counters is the counting/tracing Recorder: fixed arrays indexed by event,
+// so recording allocates nothing. When Trace is non-nil every Count/Cost
+// call additionally writes one line to it — useful for small runs; tracing
+// does allocate (it formats), which is why it is a separate opt-in.
+//
+// Counters is not safe for concurrent use; each engine owns one.
+type Counters struct {
+	counts [NumEvents]int64
+	costs  [NumEvents]float64
+
+	// Trace, when non-nil, receives one "event count/cost" line per call.
+	Trace io.Writer
+}
+
+// Count implements Recorder.
+func (c *Counters) Count(e Event, n int) {
+	if e < NumEvents {
+		c.counts[e] += int64(n)
+	}
+	if c.Trace != nil {
+		fmt.Fprintf(c.Trace, "%s +%d\n", e, n)
+	}
+}
+
+// Cost implements Recorder.
+func (c *Counters) Cost(e Event, v float64) {
+	if e < NumEvents {
+		c.costs[e] += v
+	}
+	if c.Trace != nil {
+		fmt.Fprintf(c.Trace, "%s +%g\n", e, v)
+	}
+}
+
+// CountOf returns the accumulated count for e.
+func (c *Counters) CountOf(e Event) int64 {
+	if e < NumEvents {
+		return c.counts[e]
+	}
+	return 0
+}
+
+// CostOf returns the accumulated cost for e.
+func (c *Counters) CostOf(e Event) float64 {
+	if e < NumEvents {
+		return c.costs[e]
+	}
+	return 0
+}
+
+// Reset zeroes all counters and costs.
+func (c *Counters) Reset() {
+	c.counts = [NumEvents]int64{}
+	c.costs = [NumEvents]float64{}
+}
+
+// Render formats the non-zero counters as aligned "event  count [cost]"
+// lines, sorted by event name — the report the -observe CLI flag prints.
+func (c *Counters) Render() string {
+	type row struct {
+		name  string
+		count int64
+		cost  float64
+	}
+	var rows []row
+	for e := Event(0); e < NumEvents; e++ {
+		if c.counts[e] == 0 && c.costs[e] == 0 {
+			continue
+		}
+		rows = append(rows, row{e.String(), c.counts[e], c.costs[e]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	var b strings.Builder
+	for _, r := range rows {
+		if r.cost != 0 {
+			fmt.Fprintf(&b, "%-24s %12d  cost=%.4f\n", r.name, r.count, r.cost)
+		} else {
+			fmt.Fprintf(&b, "%-24s %12d\n", r.name, r.count)
+		}
+	}
+	return b.String()
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"oodb/internal/model"
+	"oodb/internal/obs"
 )
 
 // PageID identifies a page. The zero value (NilPage) is "no page".
@@ -38,6 +39,47 @@ type Page struct {
 	Used    int // bytes consumed by resident objects
 }
 
+// Backend is the storage-layer seam: the object-to-page map and extent
+// (page) allocation behind a narrow interface, so the buffer and cluster
+// managers above it never depend on how placement is indexed. The dense-
+// slice Manager below is the default implementation; alternatives (sharded
+// maps, mmap-backed extents) plug in here.
+//
+// Implementations must keep PageOf and Fits allocation-free: they sit in
+// the innermost loops of candidate ranking and context boosting.
+type Backend interface {
+	// PageSize returns the page capacity in bytes.
+	PageSize() int
+	// NumPages returns the number of allocated pages.
+	NumPages() int
+	// NumPlaced returns the number of placed objects.
+	NumPlaced() int
+	// AllocatePage returns an empty page, reusing freed pages when possible.
+	AllocatePage() PageID
+	// Page returns the page with the given ID, or nil.
+	Page(id PageID) *Page
+	// FreeSpace returns the free bytes on a page, or 0 for an invalid page.
+	FreeSpace(id PageID) int
+	// PageOf returns the page holding object id, or NilPage.
+	PageOf(id model.ObjectID) PageID
+	// ObjectsOn returns the objects resident on a page; callers must not
+	// mutate the returned slice.
+	ObjectsOn(id PageID) []model.ObjectID
+	// Place puts an unplaced object on a page.
+	Place(obj model.ObjectID, pg PageID) error
+	// Remove takes an object off its page.
+	Remove(obj model.ObjectID) error
+	// Move relocates an object, failing without side effects if it would
+	// not fit.
+	Move(obj model.ObjectID, pg PageID) error
+	// Fits reports whether an object of the given size fits on page pg.
+	Fits(size int, pg PageID) bool
+	// CheckInvariants returns the first internal-consistency violation found.
+	CheckInvariants() error
+}
+
+var _ Backend = (*Manager)(nil)
+
 // Manager is the storage manager: page allocation, the object->page map,
 // and free-space accounting.
 //
@@ -55,7 +97,12 @@ type Manager struct {
 	sparse   map[model.ObjectID]PageID // overflow for IDs far past the frontier
 	objects  int
 	free     []PageID // emptied pages, reused by AllocatePage
+
+	rec obs.Recorder // nil = uninstrumented
 }
+
+// SetRecorder installs the instrumentation hook; nil disables it.
+func (m *Manager) SetRecorder(r obs.Recorder) { m.rec = r }
 
 // maxDenseGap bounds how far past the current dense frontier a single
 // placement may grow the dense object->page array. IDs further out are
@@ -88,6 +135,9 @@ func (m *Manager) NumPlaced() int { return m.objects }
 // AllocatePage returns an empty page, reusing a previously emptied one
 // when available.
 func (m *Manager) AllocatePage() PageID {
+	if m.rec != nil {
+		m.rec.Count(obs.StoreAllocPage, 1)
+	}
 	for len(m.free) > 0 {
 		id := m.free[len(m.free)-1]
 		m.free = m.free[:len(m.free)-1]
@@ -171,6 +221,9 @@ func (m *Manager) setWhere(obj model.ObjectID, pg PageID) {
 	if pg == NilPage {
 		delete(m.sparse, obj)
 	} else {
+		if m.rec != nil {
+			m.rec.Count(obs.StoreSparseSpill, 1)
+		}
 		m.sparse[obj] = pg
 	}
 }
@@ -254,6 +307,9 @@ func (m *Manager) Move(obj model.ObjectID, pg PageID) error {
 	}
 	if err := m.Remove(obj); err != nil {
 		return err
+	}
+	if m.rec != nil {
+		m.rec.Count(obs.StoreMove, 1)
 	}
 	return m.Place(obj, pg)
 }

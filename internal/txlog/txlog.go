@@ -13,6 +13,7 @@ package txlog
 import (
 	"fmt"
 
+	"oodb/internal/obs"
 	"oodb/internal/storage"
 )
 
@@ -40,7 +41,12 @@ type Manager struct {
 	// touched tracks, per open transaction, the set of pages whose original
 	// image has already been logged.
 	touched map[int]map[storage.PageID]struct{}
+
+	rec obs.Recorder // nil = uninstrumented
 }
+
+// SetRecorder installs the instrumentation hook; nil disables it.
+func (m *Manager) SetRecorder(r obs.Recorder) { m.rec = r }
 
 // NewManager creates a log manager with the given circular-buffer capacity
 // in bytes.
@@ -79,6 +85,13 @@ func (m *Manager) Append(txn int, objSize int, pg storage.PageID) (ios int, err 
 			set[pg] = struct{}{}
 			m.stats.BeforeImageIOs++
 			ios++
+			if m.rec != nil {
+				m.rec.Count(obs.LogBeforeImage, 1)
+			}
+		} else if m.rec != nil {
+			// A repeat update to an already-imaged page rides for free — the
+			// coalescing clustering is supposed to produce (Figure 5.5).
+			m.rec.Count(obs.LogCoalesce, 1)
 		}
 	}
 	rec := recordHeader + objSize
@@ -88,6 +101,9 @@ func (m *Manager) Append(txn int, objSize int, pg storage.PageID) (ios int, err 
 		m.stats.BufferFlushes++
 		ios++
 		m.used = 0
+		if m.rec != nil {
+			m.rec.Count(obs.LogBufferFlush, 1)
+		}
 	}
 	m.used += rec
 	return ios, nil

@@ -87,6 +87,80 @@ func TestCircularBufferFlush(t *testing.T) {
 	}
 }
 
+func TestCircularBufferExactFit(t *testing.T) {
+	// A record landing exactly on the capacity boundary must NOT flush:
+	// the flush condition is used+rec > bufSize, strictly greater.
+	m := NewManager(100)
+	m.Begin(1) //nolint:errcheck
+	ios, err := m.Append(1, 84, storage.NilPage) // record = 16+84 = 100
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ios != 0 {
+		t.Fatalf("exact-fit record flushed: ios=%d", ios)
+	}
+	if m.BufferUsed() != 100 {
+		t.Fatalf("used=%d, want 100", m.BufferUsed())
+	}
+	// The very next record, however small, wraps the buffer.
+	ios, _ = m.Append(1, 0, storage.NilPage) // record = 16
+	if ios != 1 {
+		t.Fatalf("post-boundary record did not flush: ios=%d", ios)
+	}
+	if m.BufferUsed() != 16 {
+		t.Fatalf("used=%d after wrap, want 16", m.BufferUsed())
+	}
+}
+
+func TestCircularBufferOversizedRecord(t *testing.T) {
+	// A record larger than the whole buffer flushes on every append — even
+	// the first, into an empty buffer, since it can never fit: the model
+	// charges the write-through as one flush I/O each time.
+	m := NewManager(50)
+	m.Begin(1) //nolint:errcheck
+	for i := 0; i < 3; i++ {
+		ios, err := m.Append(1, 100, storage.NilPage) // record = 116 > 50
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ios != 1 {
+			t.Fatalf("append %d: oversized record must flush: ios=%d", i, ios)
+		}
+	}
+	if got := m.Stats().BufferFlushes; got != 3 {
+		t.Fatalf("flushes=%d, want 3", got)
+	}
+}
+
+func TestCircularBufferManyWraps(t *testing.T) {
+	// Long-run wraparound accounting: after N appends of fixed-size records,
+	// flushes and residual bytes match the closed form.
+	const bufSize, objSize, n = 128, 16, 1000
+	rec := recordHeader + objSize // 32 bytes, 4 per buffer
+	m := NewManager(bufSize)
+	m.Begin(1) //nolint:errcheck
+	flushes := 0
+	for i := 0; i < n; i++ {
+		ios, err := m.Append(1, objSize, storage.NilPage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flushes += ios
+	}
+	perBuf := bufSize / rec
+	wantFlushes := (n - 1) / perBuf
+	if flushes != wantFlushes {
+		t.Fatalf("flushes=%d, want %d", flushes, wantFlushes)
+	}
+	wantUsed := rec * (1 + (n-1)%perBuf)
+	if m.BufferUsed() != wantUsed {
+		t.Fatalf("used=%d, want %d", m.BufferUsed(), wantUsed)
+	}
+	if got := m.Stats().BytesLogged; got != n*rec {
+		t.Fatalf("bytes logged=%d, want %d", got, n*rec)
+	}
+}
+
 func TestNilPageSkipsBeforeImage(t *testing.T) {
 	m := NewManager(1 << 20)
 	m.Begin(1) //nolint:errcheck

@@ -27,6 +27,7 @@ import (
 	"oodb/internal/buffer"
 	"oodb/internal/core"
 	"oodb/internal/model"
+	"oodb/internal/obs"
 	"oodb/internal/storage"
 )
 
@@ -99,6 +100,37 @@ const (
 	ReplContext = core.ReplContext
 	ReplRandom  = core.ReplRandom
 )
+
+// Instrumentation seam (internal/obs re-exports).
+type (
+	// Recorder receives per-layer instrumentation events from every
+	// component of the storage stack. Implementations must be cheap; the
+	// engine invokes them on hot paths. A nil Recorder disables recording
+	// entirely (zero-cost beyond one branch per site).
+	Recorder = obs.Recorder
+	// EventCounters is the standard counting Recorder; its Render method
+	// formats the non-zero counters as a report (what the -observe CLI
+	// flag prints).
+	EventCounters = obs.Counters
+)
+
+// ReplacementPolicies returns the registered buffer replacement policy
+// names, sorted. These are the values Config.ReplacementName and the CLI
+// -repl flag accept beyond the paper's enum.
+func ReplacementPolicies() []string { return buffer.PolicyNames() }
+
+// HasReplacementPolicy reports whether name resolves in the replacement
+// policy registry (case- and punctuation-insensitive).
+func HasReplacementPolicy(name string) bool { return buffer.HasPolicy(name) }
+
+// ClusterStrategies returns the registered clustering strategy names,
+// sorted. These are the values Config.ClusterStrategy and the CLI
+// -strategy flag accept.
+func ClusterStrategies() []string { return core.ClusterStrategyNames() }
+
+// HasClusterStrategy reports whether name resolves in the clustering
+// strategy registry.
+func HasClusterStrategy(name string) bool { return core.HasClusterStrategy(name) }
 
 // Options configures a DB.
 type Options struct {

@@ -4,16 +4,34 @@
 # with -benchmem and writes the parsed results — ns/op, B/op, allocs/op per
 # benchmark — to BENCH_2.json (or the path given as $1).
 #
-# Usage: ./scripts/bench.sh [output.json]
+# Usage: ./scripts/bench.sh [-f] [output.json]
+#   -f       overwrite the output file if it already exists
 #   BENCHTIME=100ms ./scripts/bench.sh   # quicker, noisier numbers
 set -eu
 
+force=0
+if [ "${1:-}" = "-f" ]; then
+    force=1
+    shift
+fi
 out="${1:-BENCH_2.json}"
+if [ -e "$out" ] && [ "$force" -eq 0 ]; then
+    echo "bench.sh: $out already exists; pass -f to overwrite" >&2
+    exit 1
+fi
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+rc="$(mktemp)"
+trap 'rm -f "$tmp" "$rc"' EXIT
 
-go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-1s}" \
-    ./internal/core/ ./internal/buffer/ ./internal/storage/ | tee "$tmp"
+# POSIX sh reports a pipeline's status from its last command, so tee would
+# mask a bench failure; capture go test's own status through a side file.
+{ go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-1s}" \
+    ./internal/core/ ./internal/buffer/ ./internal/storage/; echo "$?" > "$rc"; } | tee "$tmp"
+status="$(cat "$rc")"
+if [ "$status" -ne 0 ]; then
+    echo "bench.sh: go test -bench failed (exit $status)" >&2
+    exit "$status"
+fi
 
 awk '
 BEGIN { print "["; first = 1 }

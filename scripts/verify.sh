@@ -9,6 +9,13 @@ set -eux
 
 go build ./...
 go vet ./...
+# staticcheck runs when installed (CI installs it; the local toolchain may
+# not have it, and the verify path must not require network access).
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "verify.sh: staticcheck not installed; skipping (CI runs it)" >&2
+fi
 go test "$@" ./...
 go test -race "$@" ./internal/experiment/... ./internal/sim/...
 # Bench smoke: every benchmark must run once without failing (full runs and
