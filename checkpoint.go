@@ -1,0 +1,53 @@
+package oodb
+
+import (
+	"io"
+
+	"oodb/internal/engine"
+)
+
+// Checkpoint/restore and trace record/replay — the deterministic-resume
+// API. A simulation checkpointed at transaction k and resumed produces
+// byte-identical results to an uninterrupted run; a recorded transaction
+// trace replays the identical logical access stream against any policy
+// wiring (set SimConfig.Record / SimConfig.Replay).
+
+// SimCheckpoint is a serialized-ready snapshot of a simulation at a
+// quiescent point.
+type SimCheckpoint = engine.Checkpoint
+
+// CheckpointSimulation runs cfg until at least k transactions have
+// completed and the stack is quiescent, writes a checkpoint to w, then
+// finishes the run and returns its results. The results are identical to a
+// plain RunSimulation of the same configuration.
+func CheckpointSimulation(cfg SimConfig, k int, w io.Writer) (SimResults, error) {
+	e, err := engine.New(cfg)
+	if err != nil {
+		return SimResults{}, err
+	}
+	ck, err := e.RunToCheckpoint(k)
+	if err != nil {
+		return SimResults{}, err
+	}
+	if err := engine.WriteCheckpoint(w, ck); err != nil {
+		return SimResults{}, err
+	}
+	return e.Run()
+}
+
+// ResumeSimulation reads a checkpoint from r and finishes the run under
+// cfg, which must be the configuration the checkpoint was taken with (the
+// embedded fingerprint enforces this). The combined results — prefix from
+// the checkpointed run, suffix from this one — are byte-identical to an
+// uninterrupted run.
+func ResumeSimulation(cfg SimConfig, r io.Reader) (SimResults, error) {
+	ck, err := engine.ReadCheckpoint(r)
+	if err != nil {
+		return SimResults{}, err
+	}
+	e, err := engine.Resume(cfg, ck)
+	if err != nil {
+		return SimResults{}, err
+	}
+	return e.Run()
+}

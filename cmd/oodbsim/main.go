@@ -43,6 +43,15 @@ func main() {
 		prefetch = flag.String("prefetch", "none", "single run: none | buffer | db")
 		strategy = flag.String("strategy", "", "single run: clustering strategy by registry name (affinity | noop; default affinity)")
 		observe  = flag.Bool("observe", false, "single run: record per-layer instrumentation counters and print them after the run")
+
+		ckptFile = flag.String("checkpoint", "", "single run: write a checkpoint of the run to this file (see -checkpoint-at)")
+		ckptAt   = flag.Int("checkpoint-at", 0, "single run: completed-transaction count to checkpoint at (default: halfway)")
+		resume   = flag.String("resume", "", "single run: resume from a checkpoint file instead of starting fresh")
+		record   = flag.String("record", "", "single run: record the logical transaction stream to this trace file")
+		replay   = flag.String("replay", "", "single run: drive the run from a recorded trace file instead of the generator")
+
+		ckptDir    = flag.String("ckpt-dir", "", "experiments: persist per-configuration checkpoints here; a killed batch restarts from them")
+		ckptEachAt = flag.Int("ckpt-each-at", 0, "experiments: checkpoint every run at this completed-transaction count (0 with -ckpt-dir = halfway)")
 	)
 	flag.Parse()
 
@@ -53,13 +62,21 @@ func main() {
 		return
 	}
 
-	opt := oodb.ExperimentOptions{Scale: *scale, Transactions: *txns, Seed: *seed, Replications: *reps, Workers: *par}
+	opt := oodb.ExperimentOptions{Scale: *scale, Transactions: *txns, Seed: *seed, Replications: *reps, Workers: *par,
+		CheckpointDir: *ckptDir, CheckpointEachAt: *ckptEachAt}
 	if *verb {
 		opt.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
 
 	if *single {
-		if err := runSingle(*scale, *txns, *seed, *density, *rw, *cluster, *repl, *prefetch, *strategy, *observe); err != nil {
+		s := singleRun{
+			scale: *scale, txns: *txns, seed: *seed,
+			density: *density, rw: *rw, cluster: *cluster, repl: *repl,
+			prefetch: *prefetch, strategy: *strategy, observe: *observe,
+			checkpoint: *ckptFile, checkpointAt: *ckptAt, resume: *resume,
+			record: *record, replay: *replay,
+		}
+		if err := s.run(); err != nil {
 			fatal(err)
 		}
 		return
@@ -97,45 +114,121 @@ func main() {
 	}
 }
 
-func runSingle(scale float64, txns int, seed int64, density string, rw float64, cluster, repl, prefetch, strategy string, observe bool) error {
-	cfg := oodb.DefaultSimConfig(scale)
-	cfg.Transactions = txns
-	cfg.Seed = seed
-	cfg.ReadWriteRatio = rw
+// singleRun carries the -run flag set.
+type singleRun struct {
+	scale              float64
+	txns               int
+	seed               int64
+	density            string
+	rw                 float64
+	cluster, repl      string
+	prefetch, strategy string
+	observe            bool
+	checkpoint, resume string
+	checkpointAt       int
+	record, replay     string
+}
+
+func (s singleRun) config() (oodb.SimConfig, error) {
+	cfg := oodb.DefaultSimConfig(s.scale)
+	cfg.Transactions = s.txns
+	cfg.Seed = s.seed
+	cfg.ReadWriteRatio = s.rw
 
 	var err error
-	if cfg.Density, err = oodb.ParseDensity(density); err != nil {
-		return err
+	if cfg.Density, err = oodb.ParseDensity(s.density); err != nil {
+		return cfg, err
 	}
-	if cfg.Cluster, err = oodb.ParseClusterPolicy(cluster); err != nil {
-		return err
+	if cfg.Cluster, err = oodb.ParseClusterPolicy(s.cluster); err != nil {
+		return cfg, err
 	}
 	// Paper names first; anything else resolves through the policy registry,
 	// so registered extras like "clock" work without touching the enum parser.
-	if cfg.Replacement, err = oodb.ParseReplacement(repl); err != nil {
-		if !oodb.HasReplacementPolicy(repl) {
-			return fmt.Errorf("unknown replacement policy %q (registered: %v)", repl, oodb.ReplacementPolicies())
+	if cfg.Replacement, err = oodb.ParseReplacement(s.repl); err != nil {
+		if !oodb.HasReplacementPolicy(s.repl) {
+			return cfg, fmt.Errorf("unknown replacement policy %q (registered: %v)", s.repl, oodb.ReplacementPolicies())
 		}
-		cfg.ReplacementName = repl
+		cfg.ReplacementName = s.repl
 	}
-	if cfg.Prefetch, err = oodb.ParsePrefetchPolicy(prefetch); err != nil {
+	if cfg.Prefetch, err = oodb.ParsePrefetchPolicy(s.prefetch); err != nil {
+		return cfg, err
+	}
+	if s.strategy != "" {
+		if !oodb.HasClusterStrategy(s.strategy) {
+			return cfg, fmt.Errorf("unknown cluster strategy %q (registered: %v)", s.strategy, oodb.ClusterStrategies())
+		}
+		cfg.ClusterStrategy = s.strategy
+	}
+	return cfg, nil
+}
+
+func (s singleRun) run() error {
+	if s.checkpoint != "" && s.resume != "" {
+		return fmt.Errorf("-checkpoint and -resume are mutually exclusive")
+	}
+	if s.record != "" && s.replay != "" {
+		return fmt.Errorf("-record and -replay are mutually exclusive")
+	}
+	cfg, err := s.config()
+	if err != nil {
 		return err
 	}
-	if strategy != "" {
-		if !oodb.HasClusterStrategy(strategy) {
-			return fmt.Errorf("unknown cluster strategy %q (registered: %v)", strategy, oodb.ClusterStrategies())
-		}
-		cfg.ClusterStrategy = strategy
-	}
 	var counters *oodb.EventCounters
-	if observe {
+	if s.observe {
 		counters = &oodb.EventCounters{}
 		cfg.Recorder = counters
 	}
+	if s.record != "" {
+		f, err := os.Create(s.record)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Record = f
+	}
+	if s.replay != "" {
+		f, err := os.Open(s.replay)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Replay = f
+	}
 
-	res, err := oodb.RunSimulation(cfg)
-	if err != nil {
-		return err
+	var res oodb.SimResults
+	switch {
+	case s.checkpoint != "":
+		k := s.checkpointAt
+		if k <= 0 {
+			k = s.txns / 2
+		}
+		f, err := os.Create(s.checkpoint)
+		if err != nil {
+			return err
+		}
+		res, err = oodb.CheckpointSimulation(cfg, k, f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint at %d transactions written to %s\n", k, s.checkpoint)
+	case s.resume != "":
+		f, err := os.Open(s.resume)
+		if err != nil {
+			return err
+		}
+		res, err = oodb.ResumeSimulation(cfg, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	default:
+		if res, err = oodb.RunSimulation(cfg); err != nil {
+			return err
+		}
 	}
 	fmt.Println(res.String())
 	fmt.Printf("  mean disk util=%.3f cpu util=%.3f log-disk util=%.3f sim time=%.1fs throughput=%.2f txn/s\n",

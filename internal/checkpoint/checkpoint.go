@@ -1,0 +1,97 @@
+// Package checkpoint defines the serializable-state seam every stateful
+// layer of the simulation stack implements, plus the versioned gob envelope
+// the checkpoint and trace files share.
+//
+// The contract: Snapshot extracts a plain-data value capturing the layer's
+// complete mutable state at a quiescent point, and Restore re-imposes one
+// onto a freshly constructed layer, after which the layer's observable
+// behavior is bit-identical to the original's. Layers whose state includes
+// ordering (LRU chains, clock hands, free lists) serialize the order, not
+// just the membership.
+package checkpoint
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Snapshotter is the per-layer checkpoint seam. S is the layer's exported,
+// gob-encodable state type.
+type Snapshotter[S any] interface {
+	// Snapshot extracts the layer's complete mutable state. Implementations
+	// may require the layer to be quiescent (no in-flight work) and return
+	// a zero state plus an error otherwise — callers checkpoint only at
+	// transaction boundaries where that holds.
+	Snapshot() S
+	// Restore overwrites the layer's state with a previously extracted
+	// snapshot. It fails if the snapshot is inconsistent with the layer's
+	// immutable configuration (capacities, registered kinds).
+	Restore(S) error
+}
+
+// Envelope identifies a checkpoint-family file: a magic string, the payload
+// kind ("checkpoint", "trace", ...), and a format version. It is gob-encoded
+// ahead of the payload so version negotiation happens before any payload
+// type is decoded.
+type Envelope struct {
+	Magic   string
+	Kind    string
+	Version int
+}
+
+// Magic is the file-format discriminator shared by every checkpoint-family
+// file.
+const Magic = "OODB-STATE"
+
+// Typed decode errors. Callers branch on these with errors.Is; every decode
+// failure path returns one of them (never a panic), which the corrupt-input
+// tests and fuzz targets assert.
+var (
+	// ErrBadMagic means the input is not a checkpoint-family file at all.
+	ErrBadMagic = errors.New("checkpoint: bad magic (not a checkpoint file)")
+	// ErrKind means the file is checkpoint-family but of a different kind
+	// (e.g. a trace handed to the checkpoint loader).
+	ErrKind = errors.New("checkpoint: wrong payload kind")
+	// ErrVersion means the format version is unknown to this build.
+	ErrVersion = errors.New("checkpoint: unsupported format version")
+	// ErrCorrupt means the stream is truncated or structurally invalid.
+	ErrCorrupt = errors.New("checkpoint: corrupt or truncated input")
+)
+
+// Write encodes an envelope (kind, version) followed by the payload.
+func Write(w io.Writer, kind string, version int, payload any) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(Envelope{Magic: Magic, Kind: kind, Version: version}); err != nil {
+		return fmt.Errorf("checkpoint: encoding envelope: %w", err)
+	}
+	if err := enc.Encode(payload); err != nil {
+		return fmt.Errorf("checkpoint: encoding %s payload: %w", kind, err)
+	}
+	return nil
+}
+
+// Read decodes an envelope, validates kind and version, and decodes the
+// payload into out (a pointer). All failures map onto the typed errors
+// above.
+func Read(r io.Reader, kind string, version int, out any) error {
+	dec := gob.NewDecoder(r)
+	var env Envelope
+	if err := dec.Decode(&env); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if env.Magic != Magic {
+		return fmt.Errorf("%w: got %q", ErrBadMagic, env.Magic)
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("%w: got %q, want %q", ErrKind, env.Kind, kind)
+	}
+	if env.Version != version {
+		return fmt.Errorf("%w: got %d, want %d", ErrVersion, env.Version, version)
+	}
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("%w: decoding %s payload: %v", ErrCorrupt, kind, err)
+	}
+	return nil
+}

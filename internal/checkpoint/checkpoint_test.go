@@ -1,0 +1,80 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+)
+
+type payload struct {
+	Name  string
+	Count int
+	IDs   []uint64
+}
+
+func encode(t *testing.T, kind string, version int, p payload) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, kind, version, p); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := payload{Name: "pool", Count: 7, IDs: []uint64{1, 2, 3}}
+	data := encode(t, "test-state", 3, want)
+	var got payload
+	if err := Read(bytes.NewReader(data), "test-state", 3, &got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Name != want.Name || got.Count != want.Count || len(got.IDs) != 3 {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestReadRejectsMismatches(t *testing.T) {
+	good := encode(t, "test-state", 3, payload{Name: "x"})
+
+	var envelopeOnly bytes.Buffer
+	if err := Write(&envelopeOnly, "test-state", 3, payload{}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		data    []byte
+		kind    string
+		version int
+		want    error
+	}{
+		{"empty", nil, "test-state", 3, ErrCorrupt},
+		{"garbage", []byte("garbage that is not gob"), "test-state", 3, ErrCorrupt},
+		{"truncated", good[:len(good)/2], "test-state", 3, ErrCorrupt},
+		{"wrong-kind", good, "other-state", 3, ErrKind},
+		{"wrong-version", good, "test-state", 4, ErrVersion},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var got payload
+			err := Read(bytes.NewReader(tc.data), tc.kind, tc.version, &got)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadRejectsForeignMagic(t *testing.T) {
+	// A well-formed gob stream whose envelope carries the wrong magic.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(Envelope{Magic: "NOT-OODB", Kind: "test-state", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	err := Read(bytes.NewReader(buf.Bytes()), "test-state", 1, &got)
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}

@@ -1,0 +1,36 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the envelope decoder. Contract: never
+// panic; either a typed error or a successfully decoded payload of the
+// expected kind and version.
+func FuzzRead(f *testing.F) {
+	type payload struct {
+		Name string
+		IDs  []uint64
+	}
+	var good bytes.Buffer
+	if err := Write(&good, "fuzz-state", 2, payload{Name: "x", IDs: []uint64{1, 2}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add(good.Bytes()[:good.Len()/2])
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), good.Bytes()...)
+	mutated[good.Len()/3] ^= 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		var out payload
+		// Errors are expected for almost all inputs; panics are the bug.
+		_ = Read(bytes.NewReader(data), "fuzz-state", 2, &out)
+	})
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"oodb/internal/buffer"
+	"oodb/internal/storage"
+)
+
+// Checkpoint state for the clustering/buffering layer. The policy knobs
+// (ClusterPolicy, SplitPolicy, hints, cost models) are configuration —
+// rebuilt from the engine Config on resume — so the serialized state is
+// only what the strategies accumulate at run time: fill-page frontiers,
+// statistics, and the current policy of a tunable strategy (the adaptive
+// extension switches it mid-run, so it is state, not configuration).
+
+// ClusterState is the serializable state of a clustering strategy, tagged
+// with the strategy name so a snapshot cannot be restored into a different
+// algorithm.
+type ClusterState struct {
+	Kind     string
+	Frontier storage.PageID
+	Spill    storage.PageID
+	Policy   ClusterPolicy
+	Stats    ClusterStats
+}
+
+// StatefulClusterStrategy is a ClusterStrategy that supports
+// checkpoint/restore. Both strategies shipped here implement it.
+type StatefulClusterStrategy interface {
+	ClusterStrategy
+	Snapshot() ClusterState
+	Restore(ClusterState) error
+}
+
+var (
+	_ StatefulClusterStrategy = (*Clusterer)(nil)
+	_ StatefulClusterStrategy = (*NoopClusterer)(nil)
+	_ buffer.StatefulPolicy   = (*ContextPolicy)(nil)
+)
+
+// Snapshot implements StatefulClusterStrategy.
+func (c *Clusterer) Snapshot() ClusterState {
+	return ClusterState{
+		Kind:     c.Name(),
+		Frontier: c.frontier,
+		Spill:    c.spill,
+		Policy:   c.Policy,
+		Stats:    c.stats,
+	}
+}
+
+// Restore implements StatefulClusterStrategy. Restoring the policy field
+// covers the PolicyTuner seam: an adaptive run resumes under whatever
+// candidate-pool policy was in force at the checkpoint.
+func (c *Clusterer) Restore(s ClusterState) error {
+	if s.Kind != c.Name() {
+		return fmt.Errorf("core: cluster snapshot for %q restored into %q", s.Kind, c.Name())
+	}
+	c.frontier = s.Frontier
+	c.spill = s.Spill
+	c.Policy = s.Policy
+	c.stats = s.Stats
+	return nil
+}
+
+// Snapshot implements StatefulClusterStrategy.
+func (n *NoopClusterer) Snapshot() ClusterState {
+	return ClusterState{Kind: n.Name(), Frontier: n.frontier, Stats: n.stats}
+}
+
+// Restore implements StatefulClusterStrategy.
+func (n *NoopClusterer) Restore(s ClusterState) error {
+	if s.Kind != n.Name() {
+		return fmt.Errorf("core: cluster snapshot for %q restored into %q", s.Kind, n.Name())
+	}
+	n.frontier = s.Frontier
+	n.stats = s.Stats
+	return nil
+}
+
+// Snapshot implements buffer.StatefulPolicy: Pages is the protected level
+// (MRU first), Pages2 the probationary level (MRU first). Together with the
+// fixed protected-level bound they fully determine future victims.
+func (c *ContextPolicy) Snapshot() buffer.PolicyState {
+	st := buffer.PolicyState{
+		Kind:   c.Name(),
+		Pages:  make([]storage.PageID, 0, c.prot.Len()),
+		Pages2: make([]storage.PageID, 0, c.prob.Len()),
+	}
+	for h := c.prot.Front(); h != 0; h = c.prot.Next(h) {
+		st.Pages = append(st.Pages, c.prot.Page(h))
+	}
+	for h := c.prob.Front(); h != 0; h = c.prob.Next(h) {
+		st.Pages2 = append(st.Pages2, c.prob.Page(h))
+	}
+	return st
+}
+
+// Restore implements buffer.StatefulPolicy.
+func (c *ContextPolicy) Restore(s buffer.PolicyState) error {
+	if s.Kind != c.Name() {
+		return fmt.Errorf("core: policy snapshot for %q restored into %q", s.Kind, c.Name())
+	}
+	if len(s.Pages) > c.capacity {
+		return fmt.Errorf("core: snapshot protects %d pages, bound is %d", len(s.Pages), c.capacity)
+	}
+	c.prot = buffer.PageList{}
+	c.prob = buffer.PageList{}
+	c.pos = make(map[storage.PageID]ctxSlot, len(s.Pages)+len(s.Pages2))
+	for i := len(s.Pages) - 1; i >= 0; i-- {
+		c.pos[s.Pages[i]] = ctxSlot{h: c.prot.PushFront(s.Pages[i]), prot: true}
+	}
+	for i := len(s.Pages2) - 1; i >= 0; i-- {
+		c.pos[s.Pages2[i]] = ctxSlot{h: c.prob.PushFront(s.Pages2[i])}
+	}
+	return nil
+}
+
+// Snapshot captures the prefetcher's accumulated counters — its only
+// mutable state (scratch buffers are transient, policy knobs are
+// configuration).
+func (pf *Prefetcher) Snapshot() PrefetchStats { return pf.Stats() }
+
+// Restore overwrites the prefetcher's counters.
+func (pf *Prefetcher) Restore(s PrefetchStats) error {
+	pf.GroupPages = s.GroupPages
+	pf.PrefetchReads = s.PrefetchReads
+	pf.BoostsIssued = s.BoostsIssued
+	return nil
+}

@@ -123,6 +123,20 @@ type Config struct {
 	// paper's OCT trace collection).
 	Trace io.Writer
 
+	// Record, when non-nil, receives the engine's logical transaction
+	// stream in the compact binary trace format (internal/trace). A recorded
+	// trace replays the byte-identical access sequence against any policy
+	// wiring via Replay. Recording taps the generator output before any
+	// component reacts to it, so a recorded run is byte-identical to an
+	// unrecorded one.
+	Record io.Writer
+
+	// Replay, when non-nil, drives the run from a previously recorded
+	// transaction trace instead of the workload generator. The trace must
+	// hold at least Transactions+Warmup records. Replay and Record are
+	// mutually exclusive.
+	Replay io.Reader
+
 	// --- Layer seams ---
 
 	// ReplacementName, when non-empty, selects the buffer replacement policy
@@ -214,8 +228,22 @@ func (c Config) Validate() error {
 	case c.ClusterStrategy != "" && !core.HasClusterStrategy(c.ClusterStrategy):
 		return fmt.Errorf("engine: unknown cluster strategy %q (have %v)",
 			c.ClusterStrategy, core.ClusterStrategyNames())
+	case c.Record != nil && c.Replay != nil:
+		return fmt.Errorf("engine: Record and Replay are mutually exclusive")
 	}
 	return nil
+}
+
+// Fingerprint renders the behavior-determining configuration as a stable
+// string. Checkpoints embed it so a snapshot cannot be restored under a
+// different wiring; the attachment-only fields (observers, trace sinks and
+// sources) are excluded — they do not influence simulated behavior.
+func (c Config) Fingerprint() string {
+	c.Recorder = nil
+	c.Trace = nil
+	c.Record = nil
+	c.Replay = nil
+	return fmt.Sprintf("%+v", c)
 }
 
 // Label summarizes the control parameters for report rows.

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 
 	"oodb/internal/buffer"
@@ -11,6 +13,7 @@ import (
 	"oodb/internal/obs"
 	"oodb/internal/sim"
 	"oodb/internal/storage"
+	"oodb/internal/trace"
 	"oodb/internal/txlog"
 	"oodb/internal/workload"
 )
@@ -46,9 +49,21 @@ type Engine struct {
 	// when neither is configured.
 	adapt *adaptiveState
 
-	metrics Metrics
-	issued  int
-	stopped bool
+	// Per-user think/submit state, indexed by user number. Explicit data
+	// instead of a closure chain, so a checkpoint can describe every pending
+	// user wake (the only calendar events alive at a quiescent point).
+	users   []UserState
+	think   *rand.Rand
+	started bool
+
+	// Trace record/replay on the logical transaction boundary.
+	record *trace.Writer
+	replay *trace.Reader
+
+	metrics   Metrics
+	issued    int
+	completed int
+	stopped   bool
 }
 
 // New builds an engine: it generates the logical database, then constructs
@@ -161,6 +176,21 @@ func New(cfg Config) (*Engine, error) {
 		e.adapt = newAdaptiveState(cfg)
 	}
 
+	if cfg.Record != nil {
+		w, err := trace.NewWriter(cfg.Record)
+		if err != nil {
+			return nil, err
+		}
+		e.record = w
+	}
+	if cfg.Replay != nil {
+		r, err := trace.NewReader(cfg.Replay)
+		if err != nil {
+			return nil, err
+		}
+		e.replay = r
+	}
+
 	if err := e.constructDatabase(); err != nil {
 		return nil, err
 	}
@@ -195,46 +225,101 @@ func (e *Engine) constructDatabase() error {
 // Run simulates until the configured number of transactions has completed
 // and returns the results.
 func (e *Engine) Run() (Results, error) {
-	think := e.sim.Stream("think")
-	for u := 0; u < e.cfg.Users; u++ {
-		user := u
-		e.sim.After(sim.Exp(think, e.cfg.ThinkTime), func() { e.userCycle(user, think) })
-	}
+	e.start()
 	e.sim.RunAll()
+	return e.finish()
+}
+
+// finish flushes the trace recorder and renders results.
+func (e *Engine) finish() (Results, error) {
+	if e.record != nil {
+		if err := e.record.Flush(); err != nil && e.metrics.err == nil {
+			e.metrics.err = fmt.Errorf("engine: flushing trace: %w", err)
+		}
+	}
 	if e.metrics.err != nil {
 		return Results{}, e.metrics.err
 	}
 	return e.results(), nil
 }
 
-// userCycle runs one user's think/submit loop. Sessions group 5–20
-// transactions; the session boundary re-registers user hints (a no-op here
-// since hints are global and static, but the structure matches the paper's
-// session model and exercises the session-length draw).
-func (e *Engine) userCycle(user int, think *rand.Rand) {
+// start schedules the initial user wakes. It is idempotent so resumed
+// engines (whose users are already mid-session) skip it.
+func (e *Engine) start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.think = e.sim.Stream("think")
+	e.users = make([]UserState, e.cfg.Users)
+	for u := range e.users {
+		e.scheduleWake(u, sim.Exp(e.think, e.cfg.ThinkTime))
+	}
+}
+
+// scheduleWake schedules user u's next wake after delay, recording the
+// event's fire time and sequence number so a checkpoint can re-create it.
+func (e *Engine) scheduleWake(u int, delay sim.Time) {
+	if delay < 0 {
+		delay = 0
+	}
+	t := e.sim.Now() + delay
+	e.sim.At(t, func() { e.wakeUser(u) })
+	e.users[u].NextWake = t
+	e.users[u].WakeSeq = e.sim.LastSeq()
+	e.users[u].Waiting = true
+}
+
+// wakeUser runs one step of a user's think/submit loop. Sessions group 5–20
+// transactions; the session boundary draws a fresh session length, matching
+// the paper's session model.
+func (e *Engine) wakeUser(u int) {
+	e.users[u].Waiting = false
 	if e.stopped {
 		return
 	}
-	session := e.gen.SessionLength()
-	var step func(remaining int)
-	step = func(remaining int) {
-		if e.stopped {
-			return
-		}
-		if remaining == 0 {
-			e.userCycle(user, think)
-			return
-		}
-		if e.issued >= e.cfg.Transactions+e.cfg.Warmup {
-			e.stopped = true
-			return
-		}
-		e.issued++
-		e.startTxn(func() {
-			e.sim.After(sim.Exp(think, e.cfg.ThinkTime), func() { step(remaining - 1) })
-		})
+	if e.users[u].Remaining == 0 {
+		e.users[u].Remaining = e.gen.SessionLength()
 	}
-	step(session)
+	if e.issued >= e.cfg.Transactions+e.cfg.Warmup {
+		e.stopped = true
+		return
+	}
+	e.issued++
+	e.users[u].Remaining--
+	e.startTxn(func() {
+		e.completed++
+		e.scheduleWake(u, sim.Exp(e.think, e.cfg.ThinkTime))
+	})
+}
+
+// nextTxn draws the next transaction request: from the replay stream when
+// one is configured, otherwise from the generator (teeing into the trace
+// recorder when recording). Replayed scan lists are copied out of the
+// reader's scratch buffer — the request outlives this call when the
+// transaction queues on locks.
+func (e *Engine) nextTxn() (workload.Txn, error) {
+	if e.replay != nil {
+		var t workload.Txn
+		switch err := e.replay.Next(&t); {
+		case errors.Is(err, io.EOF):
+			return t, fmt.Errorf("engine: trace exhausted after %d transactions (run needs %d)",
+				e.replay.Count(), e.cfg.Transactions+e.cfg.Warmup)
+		case err != nil:
+			return t, err
+		}
+		if len(t.Scan) > 0 {
+			t.Scan = append([]model.ObjectID(nil), t.Scan...)
+		}
+		return t, nil
+	}
+	t := e.gen.Next()
+	if e.record != nil {
+		if err := e.record.Write(t); err != nil {
+			return t, fmt.Errorf("engine: recording trace: %w", err)
+		}
+	}
+	return t, nil
 }
 
 // startTxn executes one transaction: the functional layer runs atomically
@@ -250,7 +335,11 @@ func (e *Engine) startTxn(done func()) {
 			e.gen.SetReadWriteRatio(rw)
 		}
 	}
-	req := e.gen.Next()
+	req, err := e.nextTxn()
+	if err != nil {
+		e.fail(err)
+		return
+	}
 	if e.adapt != nil && e.cfg.AdaptiveClustering && e.tuner != nil {
 		if observed := e.adapt.observe(req.Kind.IsWrite()); observed >= 0 {
 			if pol := e.adapt.policyFor(observed); pol != e.tuner.CurrentPolicy() {

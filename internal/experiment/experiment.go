@@ -64,6 +64,27 @@ type Options struct {
 	// rank any registered policy, e.g. "clock".
 	ReplacementLow  string
 	ReplacementHigh string
+
+	// CheckpointEachAt, when positive, routes every simulation through the
+	// checkpoint/restore path: run to this many completed transactions,
+	// serialize a checkpoint, resume a fresh engine from the serialized
+	// bytes, and finish there. Results are byte-identical to a plain run
+	// (the harness tests assert it), so the memo cache and all figure
+	// output are unaffected — this exists to exercise the restore path at
+	// experiment scale and to let long batches survive being killed.
+	// Positions at or beyond a run's transaction budget fall back to a
+	// plain run.
+	CheckpointEachAt int
+
+	// CheckpointDir, when non-empty, persists each run's checkpoint to
+	// <dir>/<config-hash>.ckpt and, on a later invocation, resumes from an
+	// existing file instead of re-simulating the prefix — so a killed batch
+	// restarts from its per-configuration checkpoints. A stale or corrupt
+	// file (configuration changed, truncated write) is ignored and
+	// overwritten by a fresh run. Implies the CheckpointEachAt path; when
+	// CheckpointEachAt is zero the checkpoint lands halfway through the
+	// run.
+	CheckpointDir string
 }
 
 // DefaultOptions returns the quick-run options used by the benchmarks.
@@ -221,6 +242,9 @@ func (h *Harness) runOne(cfg engine.Config) (engine.Results, error) {
 	h.sem <- struct{}{}
 	defer func() { <-h.sem }()
 	h.executed.Add(1)
+	if h.opt.CheckpointEachAt > 0 || h.opt.CheckpointDir != "" {
+		return h.runCheckpointed(cfg)
+	}
 	e, err := engine.New(cfg)
 	if err != nil {
 		return engine.Results{}, err

@@ -1,0 +1,29 @@
+package lock
+
+import "fmt"
+
+// State is the serializable state of the lock manager: only statistics.
+// Held locks and waiter queues carry grant closures and exist only while
+// transactions are in flight, so the manager can only be snapshotted when
+// the lock table is empty — which the engine's quiescence rule guarantees.
+type State struct {
+	Stats Stats
+}
+
+// Snapshot captures the statistics. It returns an error if any lock is
+// held or queued: waiter closures cannot be serialized.
+func (m *Manager) Snapshot() (State, error) {
+	if len(m.table) > 0 {
+		return State{}, fmt.Errorf("lock: %d objects still locked", len(m.table))
+	}
+	return State{Stats: m.stats}, nil
+}
+
+// Restore overwrites the statistics. The table must be empty.
+func (m *Manager) Restore(s State) error {
+	if len(m.table) > 0 || len(m.held) > 0 {
+		return fmt.Errorf("lock: restore with locks outstanding")
+	}
+	m.stats = s.Stats
+	return nil
+}

@@ -1,0 +1,71 @@
+package model
+
+import "fmt"
+
+// GraphState is the serializable mutable state of a Graph: the full object
+// table. The type lattice is immutable after database generation (resume
+// reconstructs it deterministically from the workload spec), so only its
+// cardinality is recorded, as a consistency check. Deleted object IDs are
+// represented by their absence — live objects carry their own IDs, and
+// restore re-creates the tombstones between them.
+type GraphState struct {
+	NumTypes int
+	NumSlots int // length of the object table, including the unused slot 0
+	Objects  []Object
+}
+
+// cloneObject deep-copies an object so snapshot and live graph never share
+// relationship slices.
+func cloneObject(o *Object) Object {
+	c := *o
+	c.Components = append([]ObjectID(nil), o.Components...)
+	c.Composites = append([]ObjectID(nil), o.Composites...)
+	c.Descendants = append([]ObjectID(nil), o.Descendants...)
+	c.Correspondents = append([]ObjectID(nil), o.Correspondents...)
+	c.AttrImpls = append([]AttrImpl(nil), o.AttrImpls...)
+	return c
+}
+
+// Snapshot captures the object table. Structure-change listeners are not
+// part of the state: they are wiring, re-established by construction.
+func (g *Graph) Snapshot() GraphState {
+	st := GraphState{
+		NumTypes: g.NumTypes(),
+		NumSlots: len(g.objects),
+		Objects:  make([]Object, 0, g.NumObjects()),
+	}
+	for i := 1; i < len(g.objects); i++ {
+		if g.objects[i] != nil {
+			st.Objects = append(st.Objects, cloneObject(g.objects[i]))
+		}
+	}
+	return st
+}
+
+// Restore replaces the object table with the snapshot's. The graph must
+// carry the same type lattice the snapshot was taken over; listeners
+// registered on the graph are preserved.
+func (g *Graph) Restore(st GraphState) error {
+	if g.NumTypes() != st.NumTypes {
+		return fmt.Errorf("model: snapshot has %d types, graph has %d", st.NumTypes, g.NumTypes())
+	}
+	if st.NumSlots < 1 || len(st.Objects) > st.NumSlots-1 {
+		return fmt.Errorf("model: snapshot claims %d objects in %d slots", len(st.Objects), st.NumSlots)
+	}
+	objects := make([]*Object, st.NumSlots)
+	prev := ObjectID(0)
+	for i := range st.Objects {
+		o := cloneObject(&st.Objects[i])
+		if o.ID <= prev || int(o.ID) >= st.NumSlots {
+			return fmt.Errorf("model: snapshot object ID %d out of order or range", o.ID)
+		}
+		if g.Type(o.Type) == nil {
+			return fmt.Errorf("model: snapshot object %d has unknown type %d", o.ID, o.Type)
+		}
+		objects[o.ID] = &o
+		prev = o.ID
+	}
+	g.objects = objects
+	g.deleted = st.NumSlots - 1 - len(st.Objects)
+	return nil
+}

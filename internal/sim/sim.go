@@ -103,6 +103,11 @@ type Sim struct {
 	seq    uint64
 	seed   int64
 	nrun   uint64 // events executed
+
+	// streams memoizes named random streams so their draw counts can be
+	// checkpointed and replayed (see state.go). Each name maps to one
+	// stream for the lifetime of the Sim.
+	streams map[string]*stream
 }
 
 // New returns a simulator whose random streams derive from seed.
@@ -161,11 +166,32 @@ func (s *Sim) Pending() int { return len(s.events) }
 // Stream returns a deterministic random stream derived from the simulator
 // seed and the given name. Distinct names give independent streams, so the
 // workload a policy sees does not change when another component draws more
-// or fewer random numbers.
+// or fewer random numbers. Streams are memoized per name: repeated calls
+// return the same stream, and every draw is counted so a checkpoint can
+// record exactly how far each stream has advanced.
 func (s *Sim) Stream(name string) *rand.Rand {
+	if st, ok := s.streams[name]; ok {
+		return st.rng
+	}
+	src := &countingSource{src: newStreamSource(s.seed, name)}
+	st := &stream{rng: rand.New(src), src: src}
+	if s.streams == nil {
+		s.streams = make(map[string]*stream)
+	}
+	s.streams[name] = st
+	return st.rng
+}
+
+// streamSeed derives the per-name seed exactly as Stream always has, so
+// checkpointed streams re-derive bit-identical sequences.
+func streamSeed(seed int64, name string) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(name))
-	return rand.New(rand.NewSource(s.seed ^ int64(h.Sum64())))
+	return seed ^ int64(h.Sum64())
+}
+
+func newStreamSource(seed int64, name string) rand.Source64 {
+	return rand.NewSource(streamSeed(seed, name)).(rand.Source64)
 }
 
 // Exp draws an exponential variate with the given mean.

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotRestoreReplaysTail runs a self-rescheduling stochastic
+// process, snapshots mid-run, finishes while logging every event, then
+// restores and re-runs the tail: the log must repeat exactly — times,
+// order, and random draws.
+func TestSnapshotRestoreReplaysTail(t *testing.T) {
+	s := New(1)
+	rng := s.Stream("arrivals")
+	think := s.Stream("think")
+
+	var log []float64
+	var step func()
+	n := 0
+	step = func() {
+		n++
+		log = append(log, float64(s.Now()), rng.Float64(), think.Float64())
+		if n < 200 {
+			s.After(Time(Exp(rng, 0.5)), step)
+		}
+	}
+	s.After(0, step)
+
+	// Run half the events, snapshot, then log the tail.
+	for i := 0; i < 100; i++ {
+		if !s.Step() {
+			t.Fatal("calendar drained early")
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Executed == 0 || len(snap.Streams) == 0 {
+		t.Fatalf("thin snapshot: %+v", snap)
+	}
+	// The one pending event is the next step; remember it for re-scheduling.
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", s.Pending())
+	}
+	resumePoint := len(log)
+	nAt := n
+	s.RunAll()
+	want := append([]float64(nil), log[resumePoint:]...)
+
+	// Restore: rewind streams and clock, re-create the pending event.
+	if err := s.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	log = log[:0]
+	n = nAt
+	// The pending event at snapshot time was scheduled by execution step
+	// nAt with the tail's first timestamp.
+	s.ScheduleRestored(Time(want[0]), snap.Seq, step)
+	s.RunAll()
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("restored tail diverged:\nlen %d vs %d", len(log), len(want))
+	}
+}
+
+// TestRestoreMaterializesStreams: a snapshot may name streams the restored
+// kernel has not created yet (the engine creates "think" only once it
+// starts). Restore must materialize them at the recorded position so the
+// later Stream call returns the rewound generator.
+func TestRestoreMaterializesStreams(t *testing.T) {
+	a := New(9)
+	ar := a.Stream("think")
+	for i := 0; i < 5; i++ {
+		ar.Float64()
+	}
+	snap := a.Snapshot()
+	want := []float64{ar.Float64(), ar.Float64()}
+
+	b := New(9)
+	if err := b.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	br := b.Stream("think")
+	got := []float64{br.Float64(), br.Float64()}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("materialized stream continues at %v, want %v", got, want)
+	}
+}
+
+func TestScheduleRestoredValidation(t *testing.T) {
+	s := New(1)
+	s.At(5, func() {})
+	s.At(10, func() {})
+	for s.Step() {
+	}
+	snap := s.Snapshot()
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Past fire time panics like At does.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("past fire time accepted")
+			}
+		}()
+		s.ScheduleRestored(1, 0, func() {})
+	}()
+	// A sequence number never issued panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("future sequence number accepted")
+			}
+		}()
+		s.ScheduleRestored(20, snap.Seq+100, func() {})
+	}()
+}
+
+func TestStationSnapshotRestore(t *testing.T) {
+	s := New(1)
+	st := NewStation(s, "disk", 1)
+	for i := 0; i < 5; i++ {
+		st.Request(0.01, func() {})
+	}
+	s.RunAll()
+	snap := st.Snapshot()
+
+	s2 := New(1)
+	st2 := NewStation(s2, "disk", 1)
+	if err := st2.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if st2.Arrivals() != st.Arrivals() {
+		t.Fatalf("arrivals %d, want %d", st2.Arrivals(), st.Arrivals())
+	}
+}
+
+func TestStationRestoreRejectsBusy(t *testing.T) {
+	s := New(1)
+	st := NewStation(s, "disk", 1)
+	st.Request(1.0, func() {})
+	s.Step() // service started, still busy
+	if st.Busy() == 0 {
+		t.Skip("station idle; scheduling model changed")
+	}
+	if _, err := snapshotBusy(st); err == nil {
+		t.Fatal("busy station snapshot accepted")
+	}
+}
+
+// snapshotBusy adapts Station.Snapshot (which cannot fail) plus Restore
+// (which must refuse a busy target) for the busy-state test.
+func snapshotBusy(st *Station) (StationState, error) {
+	snap := st.Snapshot()
+	return snap, st.Restore(snap)
+}

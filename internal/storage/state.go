@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"fmt"
+
+	"oodb/internal/model"
+)
+
+// State is the serializable state of the storage manager: every page's
+// contents and the free-page stack. The object->page map is derived data —
+// restore rebuilds it from the pages — but the free list's LIFO order is
+// preserved exactly, because AllocatePage's reuse order is observable in
+// subsequent placements.
+type State struct {
+	PageSize int
+	Pages    []Page
+	Free     []PageID
+}
+
+// Snapshot captures the manager's state. Page object slices are copied.
+func (m *Manager) Snapshot() State {
+	st := State{
+		PageSize: m.pageSize,
+		Pages:    make([]Page, 0, len(m.pages)-1),
+		Free:     append([]PageID(nil), m.free...),
+	}
+	for i := 1; i < len(m.pages); i++ {
+		p := m.pages[i]
+		st.Pages = append(st.Pages, Page{
+			ID:      p.ID,
+			Objects: append([]model.ObjectID(nil), p.Objects...),
+			Used:    p.Used,
+		})
+	}
+	return st
+}
+
+// Restore replaces the manager's pages and free list with the snapshot's
+// and rebuilds the object->page map. The page size must match, and every
+// referenced object must exist in the graph.
+func (m *Manager) Restore(st State) error {
+	if st.PageSize != m.pageSize {
+		return fmt.Errorf("storage: snapshot page size %d, manager has %d", st.PageSize, m.pageSize)
+	}
+	pages := make([]*Page, 1, len(st.Pages)+1)
+	for i := range st.Pages {
+		p := st.Pages[i]
+		if p.ID != PageID(i+1) {
+			return fmt.Errorf("storage: snapshot page %d has ID %d", i+1, p.ID)
+		}
+		pages = append(pages, &Page{
+			ID:      p.ID,
+			Objects: append([]model.ObjectID(nil), p.Objects...),
+			Used:    p.Used,
+		})
+	}
+	m.pages = pages
+	m.free = append(m.free[:0], st.Free...)
+	m.where = nil
+	m.sparse = nil
+	m.objects = 0
+	for _, p := range pages[1:] {
+		for _, obj := range p.Objects {
+			if m.graph.Object(obj) == nil {
+				return fmt.Errorf("storage: snapshot page %d holds unknown object %d", p.ID, obj)
+			}
+			if m.PageOf(obj) != NilPage {
+				return fmt.Errorf("storage: snapshot places object %d on two pages", obj)
+			}
+			m.setWhere(obj, p.ID)
+			m.objects++
+		}
+	}
+	return m.CheckInvariants()
+}

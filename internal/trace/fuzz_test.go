@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"oodb/internal/workload"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder. Contract: never
+// panic, never allocate unboundedly (the scan-length cap), and every
+// decoded record carries an in-range query kind. A decode error must be
+// sticky-safe: hitting it and continuing is fine, silently looping is not.
+func FuzzReader(f *testing.F) {
+	seeds := [][]byte{
+		record2(f, randomTxns(20, 1)),
+		record2(f, nil),
+		[]byte("OODBTRC\x01"),
+		[]byte("not a trace"),
+		{},
+	}
+	long := record2(f, randomTxns(5, 2))
+	seeds = append(seeds, long[:len(long)-2]) // truncated mid-record
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var txn workload.Txn
+		for i := 0; i < 1<<16; i++ {
+			err := r.Next(&txn)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if txn.Kind >= workload.NumQueryKinds {
+				t.Fatalf("decoded out-of-range kind %d", txn.Kind)
+			}
+			if len(txn.Scan) > maxScanLen {
+				t.Fatalf("decoded %d scan targets past the cap", len(txn.Scan))
+			}
+		}
+	})
+}
+
+// record2 is the test-helper writer usable from both *testing.T and
+// *testing.F seed construction.
+func record2(f *testing.F, txns []workload.Txn) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, txn := range txns {
+		if err := w.Write(txn); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}

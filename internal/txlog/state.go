@@ -1,0 +1,39 @@
+package txlog
+
+import "fmt"
+
+// State is the serializable state of the log manager: buffer fill and
+// accumulated statistics. Per-transaction before-image coalescing sets are
+// not representable — they exist only while a transaction is open — so the
+// manager can only be snapshotted between transactions.
+type State struct {
+	BufSize int
+	Used    int
+	Stats   Stats
+}
+
+// Snapshot captures the manager's state. It returns an error while any
+// transaction is open: an open coalescing set cannot be serialized.
+func (m *Manager) Snapshot() (State, error) {
+	if len(m.touched) > 0 {
+		return State{}, fmt.Errorf("txlog: %d transactions still open", len(m.touched))
+	}
+	return State{BufSize: m.bufSize, Used: m.used, Stats: m.stats}, nil
+}
+
+// Restore overwrites the manager's state. The buffer capacity must match,
+// and the manager must have no open transactions.
+func (m *Manager) Restore(s State) error {
+	if s.BufSize != m.bufSize {
+		return fmt.Errorf("txlog: snapshot buffer size %d, manager has %d", s.BufSize, m.bufSize)
+	}
+	if len(m.touched) > 0 {
+		return fmt.Errorf("txlog: restore with %d transactions open", len(m.touched))
+	}
+	if s.Used < 0 || s.Used > m.bufSize {
+		return fmt.Errorf("txlog: snapshot buffer fill %d out of range", s.Used)
+	}
+	m.used = s.Used
+	m.stats = s.Stats
+	return nil
+}

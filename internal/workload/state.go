@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"fmt"
+
+	"oodb/internal/model"
+)
+
+// GeneratorState is the serializable state of a workload Generator plus the
+// database target indexes it draws from. The indexes (Blocks/Roots/Leaves)
+// belong to the Database but mutate only through the generator's
+// NoteCreated, so they checkpoint with it. Params is state, not
+// configuration: the phased workload changes the read/write ratio mid-run.
+// The random stream is a named kernel stream, restored by the kernel.
+type GeneratorState struct {
+	Params Params
+	Hot    []model.ObjectID
+	HotPos int
+	Reads  int
+	Writes int
+
+	Blocks []model.ObjectID
+	Roots  []model.ObjectID
+	Leaves []model.ObjectID
+}
+
+// Snapshot captures the generator and database-index state.
+func (gen *Generator) Snapshot() GeneratorState {
+	return GeneratorState{
+		Params: gen.p,
+		Hot:    append([]model.ObjectID(nil), gen.hot...),
+		HotPos: gen.hotPos,
+		Reads:  gen.reads,
+		Writes: gen.writes,
+		Blocks: append([]model.ObjectID(nil), gen.db.Blocks...),
+		Roots:  append([]model.ObjectID(nil), gen.db.Roots...),
+		Leaves: append([]model.ObjectID(nil), gen.db.Leaves...),
+	}
+}
+
+// Restore overwrites the generator and the database target indexes.
+func (gen *Generator) Restore(s GeneratorState) error {
+	if s.HotPos < 0 || (s.HotPos != 0 && s.HotPos >= len(s.Hot)) {
+		return fmt.Errorf("workload: snapshot hot-ring position %d out of range", s.HotPos)
+	}
+	gen.p = s.Params
+	gen.hot = append(gen.hot[:0], s.Hot...)
+	gen.hotPos = s.HotPos
+	gen.reads = s.Reads
+	gen.writes = s.Writes
+	gen.db.Blocks = append(gen.db.Blocks[:0], s.Blocks...)
+	gen.db.Roots = append(gen.db.Roots[:0], s.Roots...)
+	gen.db.Leaves = append(gen.db.Leaves[:0], s.Leaves...)
+	return nil
+}

@@ -2,7 +2,8 @@
 # Benchmark harness: runs the hot-path micro-benchmarks (core placement and
 # split machinery, buffer pool and replacement policies, storage lookup)
 # with -benchmem and writes the parsed results — ns/op, B/op, allocs/op per
-# benchmark — to BENCH_2.json (or the path given as $1).
+# benchmark — to BENCH_4.json (or the path given as $1). Compare two reports
+# with: go run ./scripts/benchcmp OLD.json NEW.json
 #
 # Usage: ./scripts/bench.sh [-f] [output.json]
 #   -f       overwrite the output file if it already exists
@@ -14,7 +15,7 @@ if [ "${1:-}" = "-f" ]; then
     force=1
     shift
 fi
-out="${1:-BENCH_2.json}"
+out="${1:-BENCH_4.json}"
 if [ -e "$out" ] && [ "$force" -eq 0 ]; then
     echo "bench.sh: $out already exists; pass -f to overwrite" >&2
     exit 1

@@ -1,0 +1,94 @@
+// Command benchcmp renders a benchstat-style comparison of two bench.sh
+// JSON reports (ns/op, B/op, allocs/op per benchmark), so CI logs show how
+// the current tree's hot paths moved against the checked-in baseline
+// without needing network access for external tooling.
+//
+// Usage: go run ./scripts/benchcmp OLD.json NEW.json
+//
+// Exit status is always 0 on a successful comparison: single-run CI numbers
+// are too noisy to gate on; the allocs/op regressions that matter are
+// enforced by AllocsPerRun tests instead.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type row struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]row, len(rows))
+	for _, r := range rows {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "~"
+		}
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRows, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	newRows, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(newRows))
+	for name := range newRows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-44s %12s %12s %8s %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	for _, name := range names {
+		n := newRows[name]
+		o, ok := oldRows[name]
+		if !ok {
+			fmt.Printf("%-44s %12s %12.1f %8s %10s %10.0f %8s\n",
+				name, "-", n.NsPerOp, "new", "-", n.AllocsPerOp, "new")
+			continue
+		}
+		fmt.Printf("%-44s %12.1f %12.1f %8s %10.0f %10.0f %8s\n",
+			name, o.NsPerOp, n.NsPerOp, delta(o.NsPerOp, n.NsPerOp),
+			o.AllocsPerOp, n.AllocsPerOp, delta(o.AllocsPerOp, n.AllocsPerOp))
+	}
+	for name := range oldRows {
+		if _, ok := newRows[name]; !ok {
+			fmt.Printf("%-44s (removed)\n", name)
+		}
+	}
+}

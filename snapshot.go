@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"oodb/internal/checkpoint"
 	"oodb/internal/model"
 )
 
@@ -19,6 +20,19 @@ import (
 
 // snapshotVersion identifies the on-disk format.
 const snapshotVersion = 1
+
+// Typed load errors, shared with the engine-checkpoint and trace formats
+// (internal/checkpoint). Callers distinguish "not a snapshot / damaged
+// bytes" (ErrCorruptSnapshot) from "a snapshot, but a format this build
+// does not read" (ErrSnapshotVersion) with errors.Is.
+var (
+	// ErrCorruptSnapshot reports undecodable or truncated snapshot bytes,
+	// or decoded contents that fail validation.
+	ErrCorruptSnapshot = checkpoint.ErrCorrupt
+	// ErrSnapshotVersion reports a well-formed snapshot in an unsupported
+	// format version.
+	ErrSnapshotVersion = checkpoint.ErrVersion
+)
 
 type snapType struct {
 	Name     string
@@ -99,10 +113,15 @@ func (db *DB) Save(w io.Writer) error {
 func Load(r io.Reader, opt Options) (*DB, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("oodb: decoding snapshot: %w", err)
+		return nil, fmt.Errorf("oodb: decoding snapshot: %w: %v", ErrCorruptSnapshot, err)
 	}
 	if snap.Format != snapshotVersion {
-		return nil, fmt.Errorf("oodb: unsupported snapshot format %d", snap.Format)
+		return nil, fmt.Errorf("oodb: %w: snapshot format %d, this build reads %d",
+			ErrSnapshotVersion, snap.Format, snapshotVersion)
+	}
+	if snap.PageSize <= 0 || snap.NumPages < 0 {
+		return nil, fmt.Errorf("oodb: %w: page size %d, page count %d",
+			ErrCorruptSnapshot, snap.PageSize, snap.NumPages)
 	}
 	if opt.PageSize == 0 {
 		opt.PageSize = snap.PageSize
@@ -151,15 +170,15 @@ func Load(r io.Reader, opt Options) (*DB, error) {
 			continue
 		}
 		if so.Page > PageID(snap.NumPages) {
-			return nil, fmt.Errorf("oodb: object %d on page %d beyond snapshot's %d pages",
-				so.ID, so.Page, snap.NumPages)
+			return nil, fmt.Errorf("oodb: %w: object %d on page %d beyond snapshot's %d pages",
+				ErrCorruptSnapshot, so.ID, so.Page, snap.NumPages)
 		}
 		if err := db.store.Place(so.ID, so.Page); err != nil {
 			return nil, fmt.Errorf("oodb: replacing object %d on page %d: %w", so.ID, so.Page, err)
 		}
 	}
 	if err := db.store.CheckInvariants(); err != nil {
-		return nil, fmt.Errorf("oodb: snapshot inconsistent: %w", err)
+		return nil, fmt.Errorf("oodb: snapshot inconsistent: %w: %v", ErrCorruptSnapshot, err)
 	}
 	return db, nil
 }

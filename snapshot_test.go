@@ -2,6 +2,8 @@ package oodb
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
 	"fmt"
 	"testing"
 )
@@ -102,6 +104,62 @@ func TestSnapshotPageSizeMismatch(t *testing.T) {
 func TestSnapshotGarbageRejected(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("not a snapshot")), Options{}); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// corruptSnapshot re-encodes a valid snapshot after mutating its decoded
+// structure, producing well-formed gob with hostile contents.
+func corruptSnapshot(t *testing.T, mutate func(*snapshot)) []byte {
+	t.Helper()
+	db := buildSnapshotFixture(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(&buf).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&snap)
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestSnapshotLoadTypedErrors pins Load's failure taxonomy: damaged or
+// hostile bytes surface ErrCorruptSnapshot, an unknown format version
+// surfaces ErrSnapshotVersion — both matchable with errors.Is so callers
+// can distinguish "re-save needed" from "wrong tool version".
+func TestSnapshotLoadTypedErrors(t *testing.T) {
+	db := buildSnapshotFixture(t)
+	var good bytes.Buffer
+	if err := db.Save(&good); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrCorruptSnapshot},
+		{"garbage", []byte("not a snapshot"), ErrCorruptSnapshot},
+		{"truncated", good.Bytes()[:good.Len()/3], ErrCorruptSnapshot},
+		{"future-version", corruptSnapshot(t, func(s *snapshot) { s.Format = snapshotVersion + 7 }), ErrSnapshotVersion},
+		{"zero-version", corruptSnapshot(t, func(s *snapshot) { s.Format = 0 }), ErrSnapshotVersion},
+		{"negative-pages", corruptSnapshot(t, func(s *snapshot) { s.NumPages = -1 }), ErrCorruptSnapshot},
+		{"zero-page-size", corruptSnapshot(t, func(s *snapshot) { s.PageSize = 0 }), ErrCorruptSnapshot},
+		{"placement-beyond-pages", corruptSnapshot(t, func(s *snapshot) { s.Objects[0].Page = PageID(s.NumPages + 5) }), ErrCorruptSnapshot},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(bytes.NewReader(tc.data), Options{})
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
 	}
 }
 
