@@ -30,6 +30,7 @@ func main() {
 		replLow  = flag.String("repl-low", "", "override the replacement factor's low level by registry name (default LRU)")
 		replHigh = flag.String("repl-high", "", "override the replacement factor's high level by registry name (default context-sensitive)")
 		strategy = flag.String("strategy", "", "clustering strategy for every run, by registry name (default affinity)")
+		wl       = flag.String("workload", "oct", "workload driving every run: oct | ocb")
 	)
 	flag.Parse()
 
@@ -49,6 +50,9 @@ func main() {
 	opt := oodb.ExperimentOptions{
 		Scale: *scale, Transactions: *txns, Seed: *seed, Workers: *par,
 		ReplacementLow: *replLow, ReplacementHigh: *replHigh, ClusterStrategy: *strategy,
+	}
+	if *wl != "oct" {
+		opt.Workload = *wl
 	}
 	if *verb {
 		opt.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }

@@ -7,9 +7,12 @@
 //	oodbsim -table 5.1
 //	oodbsim -all
 //	oodbsim -run -density high-10 -rw 100 -cluster No_limit   # single run
+//	oodbsim -run -workload ocb -ocb-dist clustered            # OCB benchmark run
+//	oodbsim -exp ocb.policies                                 # OCB experiment
 //
 // Experiment IDs follow the paper: fig3.2–fig3.4, fig5.1–fig5.14,
-// table5.1, fig6.1, fig6.2, and the ext.* extension experiments.
+// table5.1, fig6.1, fig6.2, the ocb.* benchmark experiments, and the ext.*
+// extension experiments.
 package main
 
 import (
@@ -26,6 +29,7 @@ func main() {
 		fig    = flag.String("fig", "", "figure to regenerate (e.g. 5.1)")
 		table  = flag.String("table", "", "table to regenerate (e.g. 5.1)")
 		ext    = flag.String("ext", "", "extension experiment (e.g. buffersize)")
+		exp    = flag.String("exp", "", "experiment by full registry id (e.g. ocb.policies)")
 		all    = flag.Bool("all", false, "run every registered experiment")
 		scale  = flag.Float64("scale", 0.05, "database/buffer scale relative to the paper's 500 MB / 1000 frames")
 		txns   = flag.Int("txns", 3000, "measured transactions per run")
@@ -34,6 +38,12 @@ func main() {
 		par    = flag.Int("parallel", 0, "worker pool size for simulation runs (0 = GOMAXPROCS, 1 = serial)")
 		verb   = flag.Bool("v", false, "print per-run progress (concurrency-safe)")
 		asJSON = flag.Bool("json", false, "emit tables as JSON instead of text")
+
+		wl       = flag.String("workload", "oct", "workload: oct (the paper's model) | ocb (synthetic object-base benchmark)")
+		ocbDist  = flag.String("ocb-dist", "zipf", "ocb workload: reference distribution (uniform | zipf | clustered)")
+		ocbRefs  = flag.Int("ocb-refs", 0, "ocb workload: configuration references per object (0 = default)")
+		ocbDepth = flag.Int("ocb-depth", 0, "ocb workload: traversal depth bound (0 = default)")
+		ocbScan  = flag.Int("ocb-scan", 0, "ocb workload: objects touched per set-oriented scan (0 = default)")
 
 		single   = flag.Bool("run", false, "run a single simulation instead of an experiment")
 		density  = flag.String("density", "med-5", "single run: low-3 | med-5 | high-10")
@@ -64,6 +74,9 @@ func main() {
 
 	opt := oodb.ExperimentOptions{Scale: *scale, Transactions: *txns, Seed: *seed, Replications: *reps, Workers: *par,
 		CheckpointDir: *ckptDir, CheckpointEachAt: *ckptEachAt}
+	if *wl != "oct" {
+		opt.Workload = *wl
+	}
 	if *verb {
 		opt.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -75,6 +88,8 @@ func main() {
 			prefetch: *prefetch, strategy: *strategy, observe: *observe,
 			checkpoint: *ckptFile, checkpointAt: *ckptAt, resume: *resume,
 			record: *record, replay: *replay,
+			workload: *wl, ocbDist: *ocbDist,
+			ocbRefs: *ocbRefs, ocbDepth: *ocbDepth, ocbScan: *ocbScan,
 		}
 		if err := s.run(); err != nil {
 			fatal(err)
@@ -92,6 +107,8 @@ func main() {
 		ids = []string{"table" + *table}
 	case *ext != "":
 		ids = []string{"ext." + *ext}
+	case *exp != "":
+		ids = []string{*exp}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -127,6 +144,12 @@ type singleRun struct {
 	checkpoint, resume string
 	checkpointAt       int
 	record, replay     string
+
+	workload string
+	ocbDist  string
+	ocbRefs  int
+	ocbDepth int
+	ocbScan  int
 }
 
 func (s singleRun) config() (oodb.SimConfig, error) {
@@ -158,6 +181,22 @@ func (s singleRun) config() (oodb.SimConfig, error) {
 			return cfg, fmt.Errorf("unknown cluster strategy %q (registered: %v)", s.strategy, oodb.ClusterStrategies())
 		}
 		cfg.ClusterStrategy = s.strategy
+	}
+	if s.workload != "" && s.workload != "oct" {
+		cfg.Workload = s.workload
+		cfg.OCB = oodb.DefaultOCBParams()
+		if cfg.OCB.RefDist, err = oodb.ParseOCBRefDist(s.ocbDist); err != nil {
+			return cfg, err
+		}
+		if s.ocbRefs > 0 {
+			cfg.OCB.RefsPerObject = s.ocbRefs
+		}
+		if s.ocbDepth > 0 {
+			cfg.OCB.Depth = s.ocbDepth
+		}
+		if s.ocbScan > 0 {
+			cfg.OCB.ScanSample = s.ocbScan
+		}
 	}
 	return cfg, nil
 }

@@ -43,7 +43,7 @@ type stack struct {
 	clust core.ClusterStrategy
 	pf    core.PrefetchStrategy
 	log   *txlog.Manager
-	gen   *workload.Generator
+	gen   workload.Source
 	rec   obs.Recorder // nil = uninstrumented
 
 	// boostContext enables the per-read context boosts (set when the
@@ -51,6 +51,19 @@ type stack struct {
 	// configured bound (0 = core default, negative = disabled).
 	boostContext bool
 	boostLimit   int
+
+	// ocbDepth bounds the OCB simple-traversal expansion (zero under the
+	// OCT workload); curKind tags the in-flight request so readObject can
+	// attribute instrumentation per operation kind.
+	ocbDepth int
+	curKind  workload.QueryKind
+
+	// digest folds every logical read (object id and found/not-found), in
+	// execution order, into an FNV-style accumulator. For a read-only
+	// workload the execution order equals the submission order regardless of
+	// policy wiring — shared locks never conflict — so the digest is the
+	// differential oracle's logical-result fingerprint.
+	digest uint64
 
 	nameSeq  int // created-object name sequence
 	notFound int // per-Execute logical reads of deleted objects
@@ -68,6 +81,9 @@ type stack struct {
 	expandBuf []model.ObjectID // readClosure expansion targets
 	blockBuf  []model.ObjectID // checkout first-level components
 	leafBuf   []model.ObjectID // checkout second-level components
+
+	walkBuf []ocbFrame              // OCB simple-traversal DFS stack
+	seen    map[model.ObjectID]bool // OCB simple-traversal visited set
 }
 
 var _ AccessLayer = (*stack)(nil)
@@ -76,6 +92,7 @@ var _ AccessLayer = (*stack)(nil)
 func (a *stack) Execute(txn int, req workload.Txn) (AccessResult, error) {
 	a.pendingBG = a.pendingBG[:0]
 	a.notFound = 0
+	a.curKind = req.Kind
 	ios, logical, err := a.execute(txn, req)
 	return AccessResult{
 		IOs:        ios,

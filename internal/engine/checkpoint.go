@@ -9,6 +9,7 @@ import (
 	"oodb/internal/core"
 	"oodb/internal/lock"
 	"oodb/internal/model"
+	"oodb/internal/ocb"
 	"oodb/internal/sim"
 	"oodb/internal/stats"
 	"oodb/internal/storage"
@@ -25,8 +26,10 @@ import (
 // point, so a restored run's continuation is event-for-event, draw-for-draw
 // identical — the byte-identity gate the figure tests assert.
 
-// CheckpointVersion is the checkpoint file format version.
-const CheckpointVersion = 1
+// CheckpointVersion is the checkpoint file format version. Version 2 added
+// the workload-family tag, the OCB generator state, and the logical-read
+// digest; version-1 checkpoints (which predate them) no longer load.
+const CheckpointVersion = 2
 
 // checkpointKind tags engine checkpoints inside the shared envelope.
 const checkpointKind = "engine-checkpoint"
@@ -53,6 +56,7 @@ type MetricsState struct {
 	LogWrites    int
 	BgReads      int
 	PerKindCount [workload.NumQueryKinds]int
+	PerKindIOs   [workload.NumQueryKinds]int
 	PerKindResp  [workload.NumQueryKinds]stats.TallyState
 
 	Warmup   int
@@ -75,6 +79,7 @@ func (m *Metrics) snapshot() MetricsState {
 		NotFound:   m.notFound,
 	}
 	st.PerKindCount = m.perKindCount
+	st.PerKindIOs = m.perKindIOs
 	for k := range m.perKindResp {
 		st.PerKindResp[k] = m.perKindResp[k].Snapshot()
 	}
@@ -97,6 +102,7 @@ func (m *Metrics) restore(st MetricsState) error {
 	m.logWrites = st.LogWrites
 	m.bgReads = st.BgReads
 	m.perKindCount = st.PerKindCount
+	m.perKindIOs = st.PerKindIOs
 	for k := range m.perKindResp {
 		if err := m.perKindResp[k].Restore(st.PerKindResp[k]); err != nil {
 			return err
@@ -163,8 +169,16 @@ type Checkpoint struct {
 	LockingOn bool
 	Locks     lock.State
 
-	Gen     workload.GeneratorState
-	Metrics MetricsState
+	// Workload tags which generator state is populated: "" or WorkloadOCT
+	// means Gen, WorkloadOCB means OCBGen.
+	Workload string
+	Gen      workload.GeneratorState
+	OCBGen   ocb.GeneratorState
+	Metrics  MetricsState
+
+	// Digest is the access layer's logical-read digest at the quiescent
+	// point.
+	Digest uint64
 
 	HasAdapt bool
 	Adapt    AdaptiveSnapshot
@@ -188,6 +202,7 @@ var _ prefetchSnapshotter = (*core.Prefetcher)(nil)
 var _ checkpoint.Snapshotter[sim.State] = (*sim.Sim)(nil)
 var _ checkpoint.Snapshotter[model.GraphState] = (*model.Graph)(nil)
 var _ checkpoint.Snapshotter[workload.GeneratorState] = (*workload.Generator)(nil)
+var _ checkpoint.Snapshotter[ocb.GeneratorState] = (*ocb.Generator)(nil)
 
 // Completed returns the number of completed transactions (including
 // warmup), the counter checkpoint positions are expressed in.
@@ -296,13 +311,22 @@ func (e *Engine) Snapshot() (*Checkpoint, error) {
 		Cluster:     clust.Snapshot(),
 		Prefetch:    pf.Snapshot(),
 		Log:         logSt,
-		Gen:         e.gen.Snapshot(),
 		Metrics:     e.metrics.snapshot(),
+		Digest:      st.digest,
 		NameSeq:     st.nameSeq,
 		TxnSeq:      e.txnSeq,
 		Issued:      e.issued,
 		Completed:   e.completed,
 		Stopped:     e.stopped,
+	}
+	switch g := e.gen.(type) {
+	case *workload.Generator:
+		ck.Gen = g.Snapshot()
+	case *ocb.Generator:
+		ck.Workload = WorkloadOCB
+		ck.OCBGen = g.Snapshot()
+	default:
+		return nil, fmt.Errorf("engine: workload source %T does not support checkpointing", e.gen)
 	}
 	for _, d := range e.disks {
 		ck.Disks = append(ck.Disks, d.Snapshot())
@@ -400,9 +424,25 @@ func (e *Engine) restore(ck *Checkpoint) error {
 			return err
 		}
 	}
-	if err := e.gen.Restore(ck.Gen); err != nil {
-		return err
+	switch g := e.gen.(type) {
+	case *workload.Generator:
+		if ck.Workload == WorkloadOCB {
+			return fmt.Errorf("checkpoint carries OCB generator state, engine runs the OCT workload")
+		}
+		if err := g.Restore(ck.Gen); err != nil {
+			return err
+		}
+	case *ocb.Generator:
+		if ck.Workload != WorkloadOCB {
+			return fmt.Errorf("checkpoint carries OCT generator state, engine runs the OCB workload")
+		}
+		if err := g.Restore(ck.OCBGen); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("workload source %T does not support checkpointing", e.gen)
 	}
+	st.digest = ck.Digest
 	if err := e.metrics.restore(ck.Metrics); err != nil {
 		return err
 	}

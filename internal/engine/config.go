@@ -16,7 +16,17 @@ import (
 	"oodb/internal/core"
 	"oodb/internal/model"
 	"oodb/internal/obs"
+	"oodb/internal/ocb"
 	"oodb/internal/workload"
+)
+
+// Workload family names for Config.Workload.
+const (
+	// WorkloadOCT is the paper's engineering-design workload (Section 4),
+	// the default when Config.Workload is empty.
+	WorkloadOCT = "oct"
+	// WorkloadOCB is the OCB-style synthetic workload (internal/ocb).
+	WorkloadOCB = "ocb"
 )
 
 // Config carries the static and control parameters of Table 4.1 plus the
@@ -53,6 +63,17 @@ type Config struct {
 	Buffers int
 	// Prefetch is the prefetch policy (M).
 	Prefetch core.PrefetchPolicy
+
+	// --- Workload selection ---
+
+	// Workload selects the workload family driving the run: "" or "oct" for
+	// the paper's engineering-design workload, "ocb" for the OCB-style
+	// synthetic workload (internal/ocb). The density and read/write-ratio
+	// control parameters apply only to the OCT family.
+	Workload string
+	// OCB parameterizes the OCB object base and operation mix when Workload
+	// is "ocb"; the zero value means the OCB defaults.
+	OCB ocb.Params
 
 	// --- Simulation mechanics ---
 
@@ -231,6 +252,16 @@ func (c Config) Validate() error {
 	case c.Record != nil && c.Replay != nil:
 		return fmt.Errorf("engine: Record and Replay are mutually exclusive")
 	}
+	switch c.Workload {
+	case "", WorkloadOCT:
+	case WorkloadOCB:
+		if err := c.OCB.WithDefaults().Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("engine: unknown workload %q (want %q or %q)",
+			c.Workload, WorkloadOCT, WorkloadOCB)
+	}
 	return nil
 }
 
@@ -252,9 +283,12 @@ func (c Config) Label() string {
 	if c.ReplacementName != "" {
 		repl = c.ReplacementName
 	}
-	label := fmt.Sprintf("%s-%g %s/%s/%s %s+%s buf=%d",
-		c.Density.Short(), c.ReadWriteRatio,
-		c.Cluster, c.Split, c.Hints, repl, c.Prefetch, c.Buffers)
+	head := fmt.Sprintf("%s-%g", c.Density.Short(), c.ReadWriteRatio)
+	if c.Workload == WorkloadOCB {
+		head = c.OCB.Label()
+	}
+	label := fmt.Sprintf("%s %s/%s/%s %s+%s buf=%d",
+		head, c.Cluster, c.Split, c.Hints, repl, c.Prefetch, c.Buffers)
 	if c.ClusterStrategy != "" {
 		label += " strat=" + c.ClusterStrategy
 	}

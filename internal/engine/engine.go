@@ -11,6 +11,7 @@ import (
 	"oodb/internal/lock"
 	"oodb/internal/model"
 	"oodb/internal/obs"
+	"oodb/internal/ocb"
 	"oodb/internal/sim"
 	"oodb/internal/storage"
 	"oodb/internal/trace"
@@ -24,18 +25,19 @@ import (
 type Engine struct {
 	cfg Config
 
-	sim    *sim.Sim
-	db     *workload.Database
-	graph  *model.Graph
-	store  storage.Backend
-	pool   *buffer.Pool
-	clust  core.ClusterStrategy
-	tuner  core.PolicyTuner // clust's run-time tuning hook; nil if untunable
-	pf     core.PrefetchStrategy
-	log    *txlog.Manager
-	gen    *workload.Generator
-	access AccessLayer
-	rec    obs.Recorder // nil = uninstrumented
+	sim     *sim.Sim
+	db      *workload.Database // OCT database; nil under the OCB workload
+	ocbBase *ocb.Base          // OCB object base; nil under the OCT workload
+	graph   *model.Graph
+	store   storage.Backend
+	pool    *buffer.Pool
+	clust   core.ClusterStrategy
+	tuner   core.PolicyTuner // clust's run-time tuning hook; nil if untunable
+	pf      core.PrefetchStrategy
+	log     *txlog.Manager
+	gen     workload.Source
+	access  AccessLayer
+	rec     obs.Recorder // nil = uninstrumented
 
 	cpu     *sim.Station
 	disks   []*sim.Station
@@ -77,11 +79,28 @@ func New(cfg Config) (*Engine, error) {
 	}
 	s := sim.New(cfg.Seed)
 
-	spec := workload.DefaultDBSpec(cfg.Density, cfg.DBBytes)
-	spec.Seed = cfg.Seed
-	db, err := workload.Generate(spec, cfg.PageSize)
-	if err != nil {
-		return nil, fmt.Errorf("engine: generating database: %w", err)
+	// Either workload family yields a (graph, store) pair; everything below
+	// the workload seam is family-agnostic.
+	var (
+		db    *workload.Database
+		base  *ocb.Base
+		graph *model.Graph
+		store *storage.Manager
+	)
+	if cfg.Workload == WorkloadOCB {
+		b, err := ocb.Generate(cfg.OCB, cfg.DBBytes, cfg.PageSize, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("engine: generating OCB object base: %w", err)
+		}
+		base, graph, store = b, b.Graph, b.Store
+	} else {
+		spec := workload.DefaultDBSpec(cfg.Density, cfg.DBBytes)
+		spec.Seed = cfg.Seed
+		d, err := workload.Generate(spec, cfg.PageSize)
+		if err != nil {
+			return nil, fmt.Errorf("engine: generating database: %w", err)
+		}
+		db, graph, store = d, d.Graph, d.Store
 	}
 
 	// Replacement policies come from the name registry; the Table 4.1 enum
@@ -111,7 +130,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	pool := buffer.NewPool(cfg.Buffers, policy)
 	pool.SetRecorder(cfg.Recorder)
-	db.Store.SetRecorder(cfg.Recorder)
+	store.SetRecorder(cfg.Recorder)
 
 	// Clustering strategies come from their own registry; "affinity" is the
 	// paper's algorithm and the default.
@@ -120,7 +139,7 @@ func New(cfg Config) (*Engine, error) {
 		stratName = "affinity"
 	}
 	clust, err := core.NewClusterStrategy(stratName, core.ClusterSeam{
-		Graph: db.Graph, Store: db.Store, Pool: pool,
+		Graph: graph, Store: store, Pool: pool,
 		Policy: cfg.Cluster, Split: cfg.Split,
 		Hints: cfg.Hints, Hint: cfg.HintKind,
 		PageSize:            cfg.PageSize,
@@ -132,7 +151,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 
 	pf := &core.Prefetcher{
-		Graph: db.Graph, Store: db.Store, Pool: pool,
+		Graph: graph, Store: store, Pool: pool,
 		Policy: cfg.Prefetch, Hints: cfg.Hints, Hint: cfg.HintKind,
 	}
 	pf.SetRecorder(cfg.Recorder)
@@ -141,24 +160,32 @@ func New(cfg Config) (*Engine, error) {
 	log.SetRecorder(cfg.Recorder)
 
 	e := &Engine{
-		cfg: cfg, sim: s, db: db, graph: db.Graph, store: db.Store,
+		cfg: cfg, sim: s, db: db, ocbBase: base, graph: graph, store: store,
 		pool: pool, clust: clust, pf: pf,
 		log:    log,
 		rec:    cfg.Recorder,
 		wrkRNG: s.Stream("workload"),
 	}
 	e.tuner, _ = clust.(core.PolicyTuner)
-	e.gen = workload.NewGenerator(db, workload.DefaultParams(cfg.Density, cfg.ReadWriteRatio), e.wrkRNG)
+	if base != nil {
+		e.gen = ocb.NewGenerator(base, cfg.OCB, e.wrkRNG)
+	} else {
+		e.gen = workload.NewGenerator(db, workload.DefaultParams(cfg.Density, cfg.ReadWriteRatio), e.wrkRNG)
+	}
 	// The context-sensitive policy is the one that consumes per-read
 	// structural boosts; other policies ignore them, so the access layer
 	// skips computing the boost set entirely.
 	_, boostContext := policy.(*core.ContextPolicy)
 	e.access = &stack{
-		graph: db.Graph, store: db.Store, pool: pool,
+		graph: graph, store: store, pool: pool,
 		clust: clust, pf: pf, log: log, gen: e.gen,
 		rec:          cfg.Recorder,
 		boostContext: boostContext,
 		boostLimit:   cfg.ContextBoostLimit,
+		digest:       digestOffset,
+	}
+	if base != nil {
+		e.access.(*stack).ocbDepth = cfg.OCB.WithDefaults().Depth
 	}
 	e.metrics.warmup = cfg.Warmup
 
@@ -200,9 +227,16 @@ func New(cfg Config) (*Engine, error) {
 // constructDatabase replays the interleaved creation order through the
 // clustering policy, then resets every statistic so the measured run starts
 // clean. The buffer pool's state is kept: the run begins with the pool warm,
-// as a long-lived server's would be.
+// as a long-lived server's would be. The OCB base carries its own creation
+// order (references always point backwards in it); the OCT database
+// interleaves its creation sequences from a dedicated stream.
 func (e *Engine) constructDatabase() error {
-	order := e.db.ConstructionOrder(e.sim.Stream("construction"), 4)
+	var order []model.ObjectID
+	if e.ocbBase != nil {
+		order = e.ocbBase.Order
+	} else {
+		order = e.db.ConstructionOrder(e.sim.Stream("construction"), 4)
+	}
 	for _, id := range order {
 		o := e.graph.Object(id)
 		if o == nil {

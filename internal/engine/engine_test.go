@@ -307,7 +307,8 @@ func TestUserHintsRun(t *testing.T) {
 }
 
 // TestAllQueryKindsExecuted: with enough transactions every query kind runs
-// at least once.
+// at least once — the OCT kinds under the OCT workload, the OCB kinds under
+// the OCB workload.
 func TestAllQueryKindsExecuted(t *testing.T) {
 	cfg := quickConfig(3000)
 	cfg.ReadWriteRatio = 5 // enough writes for the write kinds
@@ -318,9 +319,24 @@ func TestAllQueryKindsExecuted(t *testing.T) {
 	if _, err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
-	for k := workload.QueryKind(0); k < workload.NumQueryKinds; k++ {
+	for k := workload.QueryKind(0); k < workload.QOCBScan; k++ {
 		if e.metrics.perKindCount[k] == 0 {
 			t.Errorf("query kind %v never executed", k)
+		}
+	}
+
+	ocbCfg := quickConfig(800)
+	ocbCfg.Workload = WorkloadOCB
+	e2, err := New(ocbCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for k := workload.QOCBScan; k < workload.NumQueryKinds; k++ {
+		if e2.metrics.perKindCount[k] == 0 {
+			t.Errorf("query kind %v never executed under the OCB workload", k)
 		}
 	}
 }

@@ -55,6 +55,14 @@ func (a *stack) execute(txn int, req workload.Txn) (ios []core.PhysIO, logical i
 		return a.execCheckout(req)
 	case workload.QDelete:
 		return a.execDelete(txn, req)
+	case workload.QOCBScan:
+		return a.execScan(req)
+	case workload.QOCBSimple:
+		return a.execOCBSimple(req)
+	case workload.QOCBHierarchy:
+		return a.execOCBHierarchy(req)
+	case workload.QOCBStochastic:
+		return a.execOCBPath(req)
 	}
 	return nil, 0, fmt.Errorf("engine: unknown query kind %v", req.Kind)
 }
@@ -72,6 +80,7 @@ func (a *stack) readObject(dst []core.PhysIO, id model.ObjectID, prefetch, boost
 		// execution (a lock wait can reorder them). A real DBMS returns
 		// not-found; the lookup still costs a logical operation but no I/O.
 		a.notFound++
+		a.foldRead(id, false)
 		return dst, nil
 	}
 	pg := a.store.PageOf(id)
@@ -82,6 +91,8 @@ func (a *stack) readObject(dst []core.PhysIO, id model.ObjectID, prefetch, boost
 	if err != nil {
 		return dst, err
 	}
+	a.foldRead(id, true)
+	a.noteOCBAccess(res.Hit)
 	dst = core.AppendExpandAccess(dst, res, pg)
 
 	// The context-sensitive replacement policy uses structural knowledge on

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"oodb/internal/core"
+	"oodb/internal/model"
+	"oodb/internal/obs"
+	"oodb/internal/ocb"
+	"oodb/internal/workload"
+)
+
+// OCB operation execution. All four kinds are reads: set-oriented scans
+// share execScan (exec.go), the three traversal kinds live here. Scans and
+// stochastic walks arrive with their target lists pre-resolved in Txn.Scan;
+// simple and hierarchy traversals expand deterministically from Txn.Target
+// over the immutable object graph, so all four replay byte-identically from
+// a recorded trace.
+
+const (
+	// digestOffset/digestPrime are the FNV-1a 64-bit constants; the digest
+	// folds each logical read as (id<<1 | foundBit).
+	digestOffset = 0xcbf29ce484222325
+	digestPrime  = 0x100000001b3
+
+	// ocbVisitCap bounds the objects one simple traversal touches: shared
+	// subtrees in a dense configuration DAG could otherwise make a single
+	// transaction arbitrarily large.
+	ocbVisitCap = 512
+
+	// ocbChainCap bounds hierarchy-traversal chain walks. Generated chains
+	// are short (VersionChainMax); the cap is pure defense against graph
+	// corruption looping the walk.
+	ocbChainCap = 64
+)
+
+// ocbFrame is one DFS stack entry of a simple traversal.
+type ocbFrame struct {
+	id    model.ObjectID
+	depth int
+}
+
+// foldRead folds one logical read into the execution-order digest.
+func (a *stack) foldRead(id model.ObjectID, found bool) {
+	x := uint64(id) << 1
+	if found {
+		x |= 1
+	}
+	a.digest = (a.digest ^ x) * digestPrime
+}
+
+// noteOCBAccess attributes one buffer access to the in-flight OCB operation
+// kind. No-op when uninstrumented or when an OCT kind is executing.
+func (a *stack) noteOCBAccess(hit bool) {
+	if a.rec == nil || a.curKind < workload.QOCBScan || a.curKind > workload.QOCBStochastic {
+		return
+	}
+	i := int(a.curKind - workload.QOCBScan)
+	if hit {
+		a.rec.Count(ocbHit[i], 1)
+	} else {
+		a.rec.Count(ocbIO[i], 1)
+	}
+}
+
+// ocbHit/ocbIO map an OCB kind offset to its per-kind obs counters.
+var ocbHit = [ocb.NumOps]obs.Event{
+	obs.OCBScanHit, obs.OCBSimpleHit, obs.OCBHierarchyHit, obs.OCBStochasticHit,
+}
+
+var ocbIO = [ocb.NumOps]obs.Event{
+	obs.OCBScanIO, obs.OCBSimpleIO, obs.OCBHierarchyIO, obs.OCBStochasticIO,
+}
+
+// execOCBSimple performs a depth-bounded DFS along configuration references
+// from the target — OCB's simple traversal. The expansion order (slice
+// order, depth-first) is deterministic, and the visited set keeps shared
+// subobjects from being re-read.
+func (a *stack) execOCBSimple(req workload.Txn) ([]core.PhysIO, int, error) {
+	ios, err := a.readObject(nil, req.Target, true, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	logical := 1
+	if a.graph.Object(req.Target) == nil || a.ocbDepth <= 0 {
+		return ios, logical, nil
+	}
+	if a.seen == nil {
+		a.seen = make(map[model.ObjectID]bool, ocbVisitCap)
+	}
+	for k := range a.seen {
+		delete(a.seen, k)
+	}
+	a.seen[req.Target] = true
+	a.walkBuf = append(a.walkBuf[:0], ocbFrame{req.Target, 0})
+	for len(a.walkBuf) > 0 && logical < ocbVisitCap {
+		f := a.walkBuf[len(a.walkBuf)-1]
+		a.walkBuf = a.walkBuf[:len(a.walkBuf)-1]
+		if f.depth >= a.ocbDepth {
+			continue
+		}
+		o := a.graph.Object(f.id)
+		if o == nil {
+			continue
+		}
+		for _, c := range o.Components {
+			if a.seen[c] {
+				continue
+			}
+			a.seen[c] = true
+			if ios, err = a.readObject(ios, c, false, true); err != nil {
+				return nil, 0, err
+			}
+			logical++
+			a.walkBuf = append(a.walkBuf, ocbFrame{c, f.depth + 1})
+			if logical >= ocbVisitCap {
+				break
+			}
+		}
+	}
+	return ios, logical, nil
+}
+
+// execOCBHierarchy walks the inheritance chain upward from the target —
+// OCB's hierarchy traversal, following the links version derivation created.
+func (a *stack) execOCBHierarchy(req workload.Txn) ([]core.PhysIO, int, error) {
+	var ios []core.PhysIO
+	var err error
+	logical := 0
+	cur := req.Target
+	for step := 0; step < ocbChainCap && cur != model.NilObject; step++ {
+		if ios, err = a.readObject(ios, cur, step == 0, true); err != nil {
+			return nil, 0, err
+		}
+		logical++
+		o := a.graph.Object(cur)
+		if o == nil {
+			break
+		}
+		cur = o.InheritsFrom
+	}
+	return ios, logical, nil
+}
+
+// execOCBPath reads the pre-resolved stochastic-traversal path in order.
+// Prefetching fires on the walk's root, matching the navigation semantics of
+// the OCT read queries.
+func (a *stack) execOCBPath(req workload.Txn) ([]core.PhysIO, int, error) {
+	var ios []core.PhysIO
+	var err error
+	for i, id := range req.Scan {
+		if ios, err = a.readObject(ios, id, i == 0, true); err != nil {
+			return nil, 0, err
+		}
+	}
+	return ios, len(req.Scan), nil
+}

@@ -44,7 +44,9 @@ func lockSet(req workload.Txn) []lockRequest {
 	case workload.QStructUpdate:
 		add(req.Target, lock.Exclusive)
 		add(req.AttachTo, lock.Exclusive)
-	case workload.QScan:
+	case workload.QScan, workload.QOCBScan, workload.QOCBStochastic:
+		// OCB scans and stochastic walks carry their resolved target lists
+		// in Scan; lock each target shared, like the OCT batch scan.
 		for _, id := range req.Scan {
 			add(id, lock.Shared)
 		}

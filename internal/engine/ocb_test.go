@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"oodb/internal/workload"
+)
+
+func quickOCBConfig(txns int) Config {
+	cfg := quickConfig(txns)
+	cfg.Workload = WorkloadOCB
+	return cfg
+}
+
+func runOCB(t *testing.T, cfg Config) Results {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// TestOCBSameSeedIdentical: an OCB run is a deterministic function of its
+// configuration — two runs of the same config produce identical results.
+func TestOCBSameSeedIdentical(t *testing.T) {
+	cfg := quickOCBConfig(400)
+	a := runOCB(t, cfg)
+	b := runOCB(t, cfg)
+	if !reflect.DeepEqual(stripped(a), stripped(b)) {
+		t.Fatalf("same-seed OCB runs diverged:\n%v\n%v", a, b)
+	}
+	if a.LogicalDigest == 0 {
+		t.Fatal("OCB run produced a zero logical digest")
+	}
+	if a.WriteTxns != 0 {
+		t.Fatalf("OCB run completed %d write transactions, want 0", a.WriteTxns)
+	}
+	other := cfg
+	other.Seed++
+	c := runOCB(t, other)
+	if c.LogicalDigest == a.LogicalDigest {
+		t.Fatal("different seeds produced identical logical digests")
+	}
+}
+
+// TestOCBCheckpointResumeIdentity: the OCB workload rides the same
+// checkpoint machinery as OCT — a run checkpointed mid-flight, serialized,
+// and resumed must match an uninterrupted run byte for byte.
+func TestOCBCheckpointResumeIdentity(t *testing.T) {
+	cfg := quickOCBConfig(300)
+	for _, k := range []int{25, 150} {
+		checkResumeIdentity(t, cfg, k)
+	}
+}
+
+// TestOCBWorkloadTagMismatch: an OCB checkpoint must not restore into an
+// OCT engine, and vice versa.
+func TestOCBWorkloadTagMismatch(t *testing.T) {
+	cfg := quickOCBConfig(200)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ck, err := e.RunToCheckpoint(20)
+	if err != nil {
+		t.Fatalf("RunToCheckpoint: %v", err)
+	}
+	oct := quickConfig(200)
+	ck.Fingerprint = oct.Fingerprint() // bypass the fingerprint gate to hit the tag check
+	if _, err := Resume(oct, ck); err == nil {
+		t.Fatal("OCB checkpoint restored into an OCT engine")
+	}
+}
+
+// TestOCBRecordReplayIdentity: replaying a recorded OCB stream under the
+// same configuration reproduces the run exactly; replaying it under a
+// different replacement policy reproduces the logical results (the digest)
+// while the physical behavior is free to differ.
+func TestOCBRecordReplayIdentity(t *testing.T) {
+	cfg := quickOCBConfig(400)
+	base := runOCB(t, cfg)
+
+	recCfg := cfg
+	var buf bytes.Buffer
+	recCfg.Record = &buf
+	rec := runOCB(t, recCfg)
+	if !reflect.DeepEqual(stripped(rec), stripped(base)) {
+		t.Fatal("recording changed the run")
+	}
+
+	repCfg := cfg
+	repCfg.Replay = bytes.NewReader(buf.Bytes())
+	rep := runOCB(t, repCfg)
+	if !reflect.DeepEqual(stripped(rep), stripped(base)) {
+		t.Fatal("same-config replay diverged from the recorded run")
+	}
+
+	polCfg := cfg
+	polCfg.Replay = bytes.NewReader(buf.Bytes())
+	polCfg.ReplacementName = "clock"
+	pol := runOCB(t, polCfg)
+	if pol.LogicalDigest != base.LogicalDigest {
+		t.Fatalf("logical digest diverged across policies: %016x vs %016x",
+			pol.LogicalDigest, base.LogicalDigest)
+	}
+	if pol.LogicalOps != base.LogicalOps || pol.Completed != base.Completed {
+		t.Fatalf("logical totals diverged across policies: ops %d/%d txns %d/%d",
+			pol.LogicalOps, base.LogicalOps, pol.Completed, base.Completed)
+	}
+}
+
+// TestOCBPerKindAccounting: an OCB run attributes every completed
+// transaction, and its response time and I/Os, to one of the four OCB kinds.
+func TestOCBPerKindAccounting(t *testing.T) {
+	res := runOCB(t, quickOCBConfig(400))
+	kinds := []workload.QueryKind{
+		workload.QOCBScan, workload.QOCBSimple,
+		workload.QOCBHierarchy, workload.QOCBStochastic,
+	}
+	var total int
+	for _, k := range kinds {
+		total += res.KindCount[k.String()]
+	}
+	if total != res.Completed {
+		t.Fatalf("OCB kind counts sum to %d, want %d completed", total, res.Completed)
+	}
+	for name := range res.KindCount {
+		ok := false
+		for _, k := range kinds {
+			if name == k.String() {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("OCB run completed non-OCB kind %q", name)
+		}
+	}
+}

@@ -23,6 +23,7 @@ type Metrics struct {
 	logWrites    int
 	bgReads      int // background prefetch I/Os
 	perKindCount [workload.NumQueryKinds]int
+	perKindIOs   [workload.NumQueryKinds]int
 	perKindResp  [workload.NumQueryKinds]stats.Tally
 
 	// warmup is the number of leading transactions whose measurements are
@@ -53,6 +54,7 @@ func (m *Metrics) note(kind workload.QueryKind, logical int, ios []core.PhysIO) 
 	}
 	m.logicalOps += logical
 	m.perKindCount[kind]++
+	m.perKindIOs[kind] += len(ios)
 	for _, io := range ios {
 		switch {
 		case io.Log:
@@ -124,10 +126,28 @@ type Results struct {
 	KindResponse map[string]float64
 	// KindCount maps query-kind name to its measured transaction count.
 	KindCount map[string]int
+	// KindIOs maps query-kind name to the foreground physical I/Os its
+	// transactions issued — with KindCount, the per-operation-kind I/O and
+	// hit-rate breakdown the OCB analysis reads.
+	KindIOs map[string]int
 
 	// Locks reports concurrency-control activity (zero value when locking
 	// is disabled).
 	Locks lock.Stats
+
+	// --- Differential-oracle observables ---
+
+	// LogicalDigest folds every logical read (id, found/not-found) in
+	// execution order. Two runs of the same read-only transaction stream
+	// must produce the same digest no matter the policy wiring.
+	LogicalDigest uint64
+	// PoolResident and PoolCapacity expose end-of-run buffer occupancy for
+	// the occupancy conservation invariant.
+	PoolResident int
+	PoolCapacity int
+	// LocksHeld is the number of objects still locked at end of run (must
+	// be zero: every acquire is paired with a release).
+	LocksHeld int
 }
 
 func (e *Engine) results() Results {
@@ -170,13 +190,21 @@ func (e *Engine) results() Results {
 	}
 	if e.locks != nil {
 		r.Locks = e.locks.Stats()
+		r.LocksHeld = e.locks.Locked()
 	}
+	if st, ok := e.access.(*stack); ok {
+		r.LogicalDigest = st.digest
+	}
+	r.PoolResident = e.pool.Resident()
+	r.PoolCapacity = e.pool.Capacity()
 	r.KindResponse = make(map[string]float64)
 	r.KindCount = make(map[string]int)
+	r.KindIOs = make(map[string]int)
 	for k := workload.QueryKind(0); k < workload.NumQueryKinds; k++ {
 		if n := m.perKindResp[k].N(); n > 0 {
 			r.KindResponse[k.String()] = m.perKindResp[k].Mean()
 			r.KindCount[k.String()] = n
+			r.KindIOs[k.String()] = m.perKindIOs[k]
 		}
 	}
 	return r

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"oodb/internal/golden"
 )
 
 // TestCheckpointModeMatchesPlainRender is the harness-level headline gate:
@@ -12,33 +14,30 @@ import (
 // leave the rendered figures byte-identical. fig5.2 covers the clustering
 // sweep; fig6.1 (long mode) covers the 2^8 factorial batch.
 func TestCheckpointModeMatchesPlainRender(t *testing.T) {
-	ids := []string{"fig5.2"}
-	plainOpt := Options{Scale: 0.005, Transactions: 200, Seed: 1, Workers: 2}
-	if !testing.Short() {
-		ids = append(ids, "fig6.1")
-		plainOpt.Scale = 0.004
-		plainOpt.Transactions = 120
-	}
 	for _, k := range []int{7, 60} {
-		ckptOpt := plainOpt
-		ckptOpt.CheckpointEachAt = k
-		for _, id := range ids {
-			r, ok := Lookup(id)
+		for _, c := range goldenCases(testing.Short()) {
+			plainOpt := c.opt
+			plainOpt.Workers = 2
+			ckptOpt := plainOpt
+			ckptOpt.CheckpointEachAt = k
+			r, ok := Lookup(c.id)
 			if !ok {
-				t.Fatalf("%s not registered", id)
+				t.Fatalf("%s not registered", c.id)
 			}
 			tp, err := r(NewHarness(plainOpt))
 			if err != nil {
-				t.Fatalf("%s plain: %v", id, err)
+				t.Fatalf("%s plain: %v", c.id, err)
 			}
 			tc, err := r(NewHarness(ckptOpt))
 			if err != nil {
-				t.Fatalf("%s checkpointed at %d: %v", id, k, err)
+				t.Fatalf("%s checkpointed at %d: %v", c.id, k, err)
 			}
-			if p, c := tp.Render(), tc.Render(); p != c {
+			p, cr := tp.Render(), tc.Render()
+			if p != cr {
 				t.Fatalf("%s: checkpoint-at-%d render differs from plain:\n--- plain ---\n%s--- checkpointed ---\n%s",
-					id, k, p, c)
+					c.id, k, p, cr)
 			}
+			golden.Assert(t, c.id+".txt", cr)
 		}
 	}
 }

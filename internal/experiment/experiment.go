@@ -58,6 +58,12 @@ type Options struct {
 	// every run in the experiment ("" = "affinity", the paper's algorithm).
 	ClusterStrategy string
 
+	// Workload selects the workload family for every run: "" or "oct" for
+	// the paper's engineering-design workload, "ocb" for the OCB synthetic
+	// workload (engine.WorkloadOCB). The OCB-specific experiments override
+	// it per run regardless.
+	Workload string
+
 	// ReplacementLow and ReplacementHigh override the factorial design's
 	// buffer-replacement factor levels by registry name ("" keeps the
 	// paper's LRU / Context-sensitive pair). They let the Section 6 analysis
@@ -159,14 +165,16 @@ func (h *Harness) baseConfig() engine.Config {
 	cfg.Transactions = h.opt.Transactions
 	cfg.Seed = h.opt.Seed
 	cfg.ClusterStrategy = h.opt.ClusterStrategy
+	cfg.Workload = h.opt.Workload
 	return cfg
 }
 
 func key(cfg engine.Config) string {
-	return fmt.Sprintf("%v|%d|%d|%d|%v|%v|%d|%v|%s|%s", cfg.Label(), cfg.Transactions, cfg.Seed,
+	return fmt.Sprintf("%v|%d|%d|%d|%v|%v|%d|%v|%s|%s|%s|%+v", cfg.Label(), cfg.Transactions, cfg.Seed,
 		cfg.DBBytes, cfg.PhasedRW, cfg.AdaptiveClustering,
 		cfg.ContextBoostLimit, cfg.NoSiblingCandidates,
-		cfg.ReplacementName, cfg.ClusterStrategy)
+		cfg.ReplacementName, cfg.ClusterStrategy,
+		cfg.Workload, cfg.OCB)
 }
 
 // Run simulates cfg (memoized), averaging over the configured number of

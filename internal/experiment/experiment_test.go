@@ -19,6 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5.8", "fig5.9", "fig5.10", "fig5.11", "fig5.12", "fig5.13", "fig5.14",
 		"table5.1", "fig6.1", "fig6.2",
 		"ext.buffersize", "ext.hints",
+		"ocb.policies", "ocb.traversals",
 	}
 	ids := IDs()
 	have := map[string]bool{}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"oodb/internal/engine"
+	"oodb/internal/golden"
 	"oodb/internal/workload"
 )
 
@@ -158,35 +159,54 @@ func TestRunAllOverlapDedup(t *testing.T) {
 	}
 }
 
-// Parallel execution must be a pure wall-clock optimization: the rendered
-// tables are byte-identical to serial execution. fig5.2 covers the
-// clustering sweep path; fig6.1 covers the 2^8 factorial batch.
-func TestParallelMatchesSerialRender(t *testing.T) {
-	ids := []string{"fig5.2"}
-	serialOpt := Options{Scale: 0.005, Transactions: 200, Seed: 1, Workers: 1}
-	if !testing.Short() {
-		ids = append(ids, "fig6.1")
-		serialOpt.Scale = 0.004
-		serialOpt.Transactions = 120
+// goldenCases are the figure fixtures pinned under testdata/golden/: each id
+// renders byte-identically across serial, parallel, and checkpointed
+// execution, and the render itself is pinned against the committed golden
+// file so cross-cutting refactors cannot silently drift the default wiring.
+func goldenCases(short bool) []struct {
+	id  string
+	opt Options
+} {
+	cases := []struct {
+		id  string
+		opt Options
+	}{
+		{"fig5.2", Options{Scale: 0.005, Transactions: 200, Seed: 1, Workers: 1}},
 	}
-	parallelOpt := serialOpt
-	parallelOpt.Workers = 4
-	for _, id := range ids {
-		r, ok := Lookup(id)
+	if !short {
+		cases = append(cases, struct {
+			id  string
+			opt Options
+		}{"fig6.1", Options{Scale: 0.004, Transactions: 120, Seed: 1, Workers: 1}})
+	}
+	return cases
+}
+
+// Parallel execution must be a pure wall-clock optimization: the rendered
+// tables are byte-identical to serial execution and to the committed golden
+// fixture. fig5.2 covers the clustering sweep path; fig6.1 covers the 2^8
+// factorial batch.
+func TestParallelMatchesSerialRender(t *testing.T) {
+	for _, c := range goldenCases(testing.Short()) {
+		r, ok := Lookup(c.id)
 		if !ok {
-			t.Fatalf("%s not registered", id)
+			t.Fatalf("%s not registered", c.id)
 		}
-		ts, err := r(NewHarness(serialOpt))
+		parallelOpt := c.opt
+		parallelOpt.Workers = 4
+		ts, err := r(NewHarness(c.opt))
 		if err != nil {
-			t.Fatalf("%s serial: %v", id, err)
+			t.Fatalf("%s serial: %v", c.id, err)
 		}
 		tp, err := r(NewHarness(parallelOpt))
 		if err != nil {
-			t.Fatalf("%s parallel: %v", id, err)
+			t.Fatalf("%s parallel: %v", c.id, err)
 		}
-		if s, p := ts.Render(), tp.Render(); s != p {
-			t.Fatalf("%s parallel render differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", id, s, p)
+		s, p := ts.Render(), tp.Render()
+		if s != p {
+			t.Fatalf("%s parallel render differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", c.id, s, p)
 		}
+		golden.Assert(t, c.id+".txt", s)
 	}
 }
 

@@ -1,0 +1,76 @@
+// Package golden is the shared golden-file comparison helper: canonical
+// fixture outputs live under testdata/golden/ at the repository root, tests
+// assert byte equality against them, and -update-golden rewrites them from
+// observed output. Centralizing the comparison (instead of per-test
+// byte-identity assertions) gives every fixture the same failure diagnostics
+// and the same update workflow.
+package golden
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update-golden", false, "rewrite golden files under testdata/golden/ with observed output")
+
+// Dir returns the golden fixture directory (testdata/golden/ at the
+// repository root), located relative to this source file so tests in any
+// package resolve the same fixtures.
+func Dir() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return filepath.Join("testdata", "golden")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "..", "testdata", "golden")
+}
+
+// Path returns the path of the named golden file.
+func Path(name string) string { return filepath.Join(Dir(), name) }
+
+// Assert compares got against the named golden file. With -update-golden it
+// rewrites the file instead and logs the update. Mismatches report the first
+// differing line, so a drifted figure diagnoses itself.
+func Assert(t *testing.T, name, got string) {
+	t.Helper()
+	path := Path(name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("golden: creating %s: %v", filepath.Dir(path), err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("golden: writing %s: %v", path, err)
+		}
+		t.Logf("golden: updated %s (%d bytes)", name, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden: reading %s: %v (run with -update-golden to create it)", path, err)
+	}
+	if string(want) == got {
+		return
+	}
+	t.Errorf("golden: output diverges from %s (rerun with -update-golden to accept):\n%s",
+		name, firstDiff(string(want), got))
+}
+
+// firstDiff renders the first differing line of want vs got.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want: %q\n  got:  %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line count: want %d lines, got %d lines", len(wl), len(gl))
+}

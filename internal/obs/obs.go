@@ -94,6 +94,26 @@ const (
 	// disks outside any transaction's response path.
 	EngineBackgroundIO
 
+	// --- engine: OCB per-operation-kind breakdown ---
+	// One hit/io pair per OCB operation kind: a buffer access attributed to
+	// the kind of the transaction making it, split by whether the page was
+	// resident. Together they give the per-kind I/O and hit-rate breakdown.
+
+	// OCBScanHit / OCBScanIO: set-oriented extent scans.
+	OCBScanHit
+	OCBScanIO
+	// OCBSimpleHit / OCBSimpleIO: simple traversals along configuration
+	// references.
+	OCBSimpleHit
+	OCBSimpleIO
+	// OCBHierarchyHit / OCBHierarchyIO: hierarchy traversals along
+	// inheritance links.
+	OCBHierarchyHit
+	OCBHierarchyIO
+	// OCBStochasticHit / OCBStochasticIO: stochastic traversals.
+	OCBStochasticHit
+	OCBStochasticIO
+
 	// NumEvents bounds the event space; counting recorders size their
 	// arrays with it.
 	NumEvents
@@ -122,6 +142,14 @@ var eventNames = [NumEvents]string{
 	LockConflict:        "lock.conflict",
 	EngineTxn:           "engine.txn",
 	EngineBackgroundIO:  "engine.background_io",
+	OCBScanHit:          "ocb.scan.hit",
+	OCBScanIO:           "ocb.scan.io",
+	OCBSimpleHit:        "ocb.simple.hit",
+	OCBSimpleIO:         "ocb.simple.io",
+	OCBHierarchyHit:     "ocb.hierarchy.hit",
+	OCBHierarchyIO:      "ocb.hierarchy.io",
+	OCBStochasticHit:    "ocb.stochastic.hit",
+	OCBStochasticIO:     "ocb.stochastic.io",
 }
 
 // String names the event as "layer.event".

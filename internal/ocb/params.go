@@ -1,0 +1,205 @@
+// Package ocb implements an OCB-style synthetic workload family (after
+// Darmont et al.'s generic object-oriented benchmark): a parameterized
+// object-base generator — class-hierarchy depth/fanout, reference
+// distributions (uniform, Zipfian hot/cold, locality-clustered) — and a
+// read-only transaction generator producing the four OCB operation kinds
+// (set-oriented scan, simple traversal, hierarchy traversal along
+// inheritance links, stochastic traversal along configuration links).
+//
+// The generator plugs into the engine behind the workload.Source seam, so
+// OCB runs snapshot/restore and record/replay exactly like the paper's OCT
+// workload. Because every OCB operation is a read, a recorded OCB stream
+// replayed under two different policy wirings must produce identical
+// logical results — the property the differential oracle
+// (internal/oracle) turns into an executable check.
+package ocb
+
+import "fmt"
+
+// RefDist selects how object references (and run-time traversal roots) are
+// distributed over the object base.
+type RefDist uint8
+
+const (
+	// DistUniform draws references uniformly over all earlier objects.
+	DistUniform RefDist = iota
+	// DistZipf draws references with a Zipfian hot/cold skew: recently
+	// created objects are hot, old ones form a long cold tail.
+	DistZipf
+	// DistClustered draws references from a sliding locality window, so
+	// structurally close objects are also close in creation order.
+	DistClustered
+
+	numRefDists
+)
+
+// RefDists lists the distributions in experiment order.
+var RefDists = []RefDist{DistUniform, DistZipf, DistClustered}
+
+// String names the distribution.
+func (d RefDist) String() string {
+	switch d {
+	case DistUniform:
+		return "uniform"
+	case DistZipf:
+		return "zipf"
+	case DistClustered:
+		return "clustered"
+	}
+	return fmt.Sprintf("RefDist(%d)", uint8(d))
+}
+
+// ParseRefDist resolves a distribution name.
+func ParseRefDist(s string) (RefDist, error) {
+	for _, d := range RefDists {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("ocb: unknown reference distribution %q (want uniform, zipf, or clustered)", s)
+}
+
+// Params parameterizes the OCB object base and operation mix. The zero
+// value means "use the defaults" — WithDefaults fills every unset field, so
+// a Config can embed a zero Params and still be valid.
+type Params struct {
+	// --- Class hierarchy ---
+
+	// HierarchyDepth is the depth of the class lattice below the abstract
+	// root class (default 3).
+	HierarchyDepth int
+	// HierarchyFanout is the number of subclasses under each non-leaf
+	// class (default 2). Instances are drawn from the leaf classes.
+	HierarchyFanout int
+
+	// --- Object base ---
+
+	// BaseSize is the mean object size in bytes before jitter (default 200).
+	BaseSize int
+	// SizeSpread is the +/- uniform jitter applied to object sizes
+	// (default 80).
+	SizeSpread int
+	// RefsPerObject is the number of configuration references each object
+	// holds to earlier-created objects (default 3). References always point
+	// backwards in creation order, so the configuration graph is acyclic by
+	// construction.
+	RefsPerObject int
+	// RefDist selects the reference distribution.
+	RefDist RefDist
+	// ZipfS is the Zipf skew exponent for DistZipf (> 1; default 2).
+	ZipfS float64
+	// LocalityWindow is the creation-order window for DistClustered
+	// (default 64).
+	LocalityWindow int
+	// VersionChainMax bounds derive-chain lengths (default 3); chains are
+	// the inheritance links hierarchy traversals walk.
+	VersionChainMax int
+	// VersionFraction is the probability an object roots a version chain
+	// (default 0.15).
+	VersionFraction float64
+
+	// --- Operations ---
+
+	// Depth bounds traversal depth for simple and stochastic traversals
+	// (1..8, default 3).
+	Depth int
+	// ScanSample is the number of extent objects one set-oriented scan
+	// touches (default 30).
+	ScanSample int
+	// WeightScan..WeightStochastic set the operation mix (defaults
+	// 1/4/2/3).
+	WeightScan, WeightSimple, WeightHierarchy, WeightStochastic int
+	// SessionMin and SessionMax bound the transactions per user session
+	// (defaults 5 and 20, matching the OCT workload's session model).
+	SessionMin, SessionMax int
+}
+
+// DefaultParams returns the fully defaulted parameter set.
+func DefaultParams() Params { return Params{}.WithDefaults() }
+
+// WithDefaults fills every unset field with its default.
+func (p Params) WithDefaults() Params {
+	if p.HierarchyDepth <= 0 {
+		p.HierarchyDepth = 3
+	}
+	if p.HierarchyFanout <= 0 {
+		p.HierarchyFanout = 2
+	}
+	if p.BaseSize <= 0 {
+		p.BaseSize = 200
+	}
+	if p.SizeSpread < 0 {
+		p.SizeSpread = 0
+	} else if p.SizeSpread == 0 {
+		p.SizeSpread = 80
+	}
+	if p.RefsPerObject <= 0 {
+		p.RefsPerObject = 3
+	}
+	if p.ZipfS <= 1 {
+		p.ZipfS = 2
+	}
+	if p.LocalityWindow <= 0 {
+		p.LocalityWindow = 64
+	}
+	if p.VersionChainMax <= 0 {
+		p.VersionChainMax = 3
+	}
+	if p.VersionFraction <= 0 {
+		p.VersionFraction = 0.15
+	}
+	if p.Depth <= 0 {
+		p.Depth = 3
+	}
+	if p.ScanSample <= 0 {
+		p.ScanSample = 30
+	}
+	if p.WeightScan+p.WeightSimple+p.WeightHierarchy+p.WeightStochastic <= 0 {
+		p.WeightScan, p.WeightSimple, p.WeightHierarchy, p.WeightStochastic = 1, 4, 2, 3
+	}
+	if p.SessionMin <= 0 {
+		p.SessionMin = 5
+	}
+	if p.SessionMax < p.SessionMin {
+		p.SessionMax = 20
+		if p.SessionMax < p.SessionMin {
+			p.SessionMax = p.SessionMin
+		}
+	}
+	return p
+}
+
+// Validate reports parameter errors. Call it on a defaulted copy.
+func (p Params) Validate() error {
+	switch {
+	case p.HierarchyDepth < 1 || p.HierarchyDepth > 6:
+		return fmt.Errorf("ocb: HierarchyDepth %d out of range [1,6]", p.HierarchyDepth)
+	case p.HierarchyFanout < 1 || p.HierarchyFanout > 8:
+		return fmt.Errorf("ocb: HierarchyFanout %d out of range [1,8]", p.HierarchyFanout)
+	case p.BaseSize < 32:
+		return fmt.Errorf("ocb: BaseSize %d below minimum 32", p.BaseSize)
+	case p.RefsPerObject < 1 || p.RefsPerObject > 16:
+		return fmt.Errorf("ocb: RefsPerObject %d out of range [1,16]", p.RefsPerObject)
+	case p.RefDist >= numRefDists:
+		return fmt.Errorf("ocb: unknown RefDist %d", p.RefDist)
+	case p.ZipfS <= 1:
+		return fmt.Errorf("ocb: ZipfS %g must exceed 1", p.ZipfS)
+	case p.Depth < 1 || p.Depth > 8:
+		return fmt.Errorf("ocb: Depth %d out of range [1,8]", p.Depth)
+	case p.ScanSample < 1:
+		return fmt.Errorf("ocb: ScanSample %d must be positive", p.ScanSample)
+	case p.WeightScan < 0 || p.WeightSimple < 0 || p.WeightHierarchy < 0 || p.WeightStochastic < 0:
+		return fmt.Errorf("ocb: operation weights must be non-negative")
+	case p.WeightScan+p.WeightSimple+p.WeightHierarchy+p.WeightStochastic == 0:
+		return fmt.Errorf("ocb: at least one operation weight must be positive")
+	case p.SessionMin < 1 || p.SessionMax < p.SessionMin:
+		return fmt.Errorf("ocb: session bounds [%d,%d] invalid", p.SessionMin, p.SessionMax)
+	}
+	return nil
+}
+
+// Label renders the distribution-bearing label used in experiment rows.
+func (p Params) Label() string {
+	d := p.WithDefaults()
+	return fmt.Sprintf("ocb-%s-r%d-d%d", d.RefDist, d.RefsPerObject, d.Depth)
+}

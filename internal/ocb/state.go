@@ -1,0 +1,37 @@
+package ocb
+
+import "fmt"
+
+// GeneratorState is the serializable state of an OCB Generator. The object
+// base itself is immutable (the workload is read-only) and regenerated
+// deterministically from configuration at resume time; only the generator's
+// counters and the clustered-locality cursor are state. The random stream
+// is a named kernel stream, restored by the kernel.
+type GeneratorState struct {
+	Params Params
+	Locus  int
+	Reads  int
+	Kinds  [NumOps]int
+}
+
+// Snapshot captures the generator state.
+func (gen *Generator) Snapshot() GeneratorState {
+	return GeneratorState{
+		Params: gen.p,
+		Locus:  gen.locus,
+		Reads:  gen.reads,
+		Kinds:  gen.kinds,
+	}
+}
+
+// Restore overwrites the generator state.
+func (gen *Generator) Restore(s GeneratorState) error {
+	if s.Locus < 0 || s.Reads < 0 {
+		return fmt.Errorf("ocb: snapshot counters negative (locus=%d reads=%d)", s.Locus, s.Reads)
+	}
+	gen.p = s.Params.WithDefaults()
+	gen.locus = s.Locus
+	gen.reads = s.Reads
+	gen.kinds = s.Kinds
+	return nil
+}

@@ -1,0 +1,178 @@
+package ocb
+
+import (
+	"math/rand"
+
+	"oodb/internal/model"
+	"oodb/internal/workload"
+)
+
+// NumOps is the number of OCB operation kinds.
+const NumOps = 4
+
+// Generator produces the four OCB operation kinds against a Base. It
+// implements workload.Source, so the engine drives it exactly like the OCT
+// generator: the random stream is a named kernel stream (rewound by
+// checkpoint restore), targets and stochastic paths are resolved at
+// generation time (so a recorded trace replays byte-identically), and the
+// mutable state is a handful of counters captured by GeneratorState.
+//
+// All four operation kinds are reads: the OCB workload never mutates the
+// object base, which is what makes cross-policy logical-result equivalence
+// (the differential oracle's headline property) hold exactly.
+type Generator struct {
+	base *Base
+	p    Params
+	rng  *rand.Rand
+
+	locus int // DistClustered sliding-locality cursor
+	reads int
+	kinds [NumOps]int
+}
+
+var _ workload.Source = (*Generator)(nil)
+
+// NewGenerator creates a generator drawing randomness from rng. Params are
+// defaulted, matching what engine construction validated.
+func NewGenerator(base *Base, p Params, rng *rand.Rand) *Generator {
+	return &Generator{base: base, p: p.WithDefaults(), rng: rng}
+}
+
+// Params returns the generator's (defaulted) parameters.
+func (gen *Generator) Params() Params { return gen.p }
+
+// SessionLength draws the number of transactions in a user session.
+func (gen *Generator) SessionLength() int {
+	return gen.p.SessionMin + gen.rng.Intn(gen.p.SessionMax-gen.p.SessionMin+1)
+}
+
+// NoteCreated implements workload.Source. The OCB workload is read-only, so
+// the engine never creates objects during a run; nothing to index.
+func (gen *Generator) NoteCreated(model.ObjectID, model.TypeID) {}
+
+// SetReadWriteRatio implements workload.Source. OCB has no write class, so
+// the phased-workload extension has nothing to vary.
+func (gen *Generator) SetReadWriteRatio(float64) {}
+
+// Counts returns the generated transaction counts (writes are always zero).
+func (gen *Generator) Counts() (reads, writes int) { return gen.reads, 0 }
+
+// KindCounts returns the per-operation-kind generation counts in the order
+// scan, simple, hierarchy, stochastic.
+func (gen *Generator) KindCounts() [NumOps]int { return gen.kinds }
+
+// drawIndex picks an index in [0, n) under the configured distribution.
+// Hot/cold skew treats high (recent) indexes as hot; the clustered
+// distribution walks a locality window around a slowly moving locus.
+func (gen *Generator) drawIndex(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	switch gen.p.RefDist {
+	case DistZipf:
+		return n - 1 - zipfOffset(gen.rng, gen.p.ZipfS, n)
+	case DistClustered:
+		w := gen.p.LocalityWindow
+		if w > n {
+			w = n
+		}
+		// Relocate the locus occasionally: sessions move between
+		// neighborhoods, accesses within a session stay local.
+		if gen.locus >= n || gen.rng.Intn(16) == 0 {
+			gen.locus = gen.rng.Intn(n)
+		}
+		i := gen.locus - w/2 + gen.rng.Intn(w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	default:
+		return gen.rng.Intn(n)
+	}
+}
+
+// Next draws the next OCB operation. Set-oriented scans and stochastic
+// traversals resolve their full target lists here — scans because the
+// extent sample is part of the operation's definition, stochastic walks
+// because their randomness must live in the trace for replay to be
+// byte-identical. Simple and hierarchy traversals carry only a root: their
+// expansions are deterministic functions of the (immutable) object graph.
+func (gen *Generator) Next() workload.Txn {
+	gen.reads++
+	total := gen.p.WeightScan + gen.p.WeightSimple + gen.p.WeightHierarchy + gen.p.WeightStochastic
+	x := gen.rng.Intn(total)
+	switch {
+	case x < gen.p.WeightScan:
+		gen.kinds[0]++
+		return gen.nextScan()
+	case x < gen.p.WeightScan+gen.p.WeightSimple:
+		gen.kinds[1]++
+		return workload.Txn{Kind: workload.QOCBSimple, Target: gen.pickObject()}
+	case x < gen.p.WeightScan+gen.p.WeightSimple+gen.p.WeightHierarchy:
+		gen.kinds[2]++
+		return gen.nextHierarchy()
+	default:
+		gen.kinds[3]++
+		return gen.nextStochastic()
+	}
+}
+
+func (gen *Generator) pickObject() model.ObjectID {
+	return gen.base.Order[gen.drawIndex(len(gen.base.Order))]
+}
+
+// nextScan samples a contiguous (wrapping) run of one class extent — a
+// set-oriented scan over unrelated instances, the access pattern that
+// punishes recency-only replacement.
+func (gen *Generator) nextScan() workload.Txn {
+	class := gen.rng.Intn(len(gen.base.Extents))
+	ext := gen.base.Extents[class]
+	for try := 0; len(ext) == 0 && try < len(gen.base.Extents); try++ {
+		class = (class + 1) % len(gen.base.Extents)
+		ext = gen.base.Extents[class]
+	}
+	if len(ext) == 0 {
+		return workload.Txn{Kind: workload.QOCBSimple, Target: gen.pickObject()}
+	}
+	k := gen.p.ScanSample
+	if k > len(ext) {
+		k = len(ext)
+	}
+	start := gen.drawIndex(len(ext))
+	scan := make([]model.ObjectID, k)
+	for i := 0; i < k; i++ {
+		scan[i] = ext[(start+i)%len(ext)]
+	}
+	return workload.Txn{Kind: workload.QOCBScan, Target: scan[0], Scan: scan}
+}
+
+// nextHierarchy starts a hierarchy traversal at a versioned object (one
+// carrying an inheritance link); the engine walks the chain upward.
+func (gen *Generator) nextHierarchy() workload.Txn {
+	if len(gen.base.Versioned) == 0 {
+		return workload.Txn{Kind: workload.QOCBSimple, Target: gen.pickObject()}
+	}
+	t := gen.base.Versioned[gen.drawIndex(len(gen.base.Versioned))]
+	return workload.Txn{Kind: workload.QOCBHierarchy, Target: t}
+}
+
+// nextStochastic resolves a random walk along configuration references:
+// from a drawn root, each step descends to a uniformly chosen component.
+// The resolved path rides in Txn.Scan so replay repeats it exactly.
+func (gen *Generator) nextStochastic() workload.Txn {
+	cur := gen.pickObject()
+	path := make([]model.ObjectID, 1, gen.p.Depth+1)
+	path[0] = cur
+	for step := 0; step < gen.p.Depth; step++ {
+		o := gen.base.Graph.Object(cur)
+		if o == nil || len(o.Components) == 0 {
+			break
+		}
+		cur = o.Components[gen.rng.Intn(len(o.Components))]
+		path = append(path, cur)
+	}
+	return workload.Txn{Kind: workload.QOCBStochastic, Target: path[0], Scan: path}
+}

@@ -1,0 +1,157 @@
+// Package oracle implements the cross-policy differential oracle: record a
+// logical transaction stream once, replay it under any two policy wirings,
+// and assert that (a) the logical results are identical and (b) each run's
+// physical accounting obeys the stack's conservation invariants.
+//
+// The equivalence half leans on a determinism argument: for a *read-only*
+// stream (every OCB operation kind is a read) shared locks never conflict,
+// so each transaction executes synchronously at submission and the n-th
+// submission consumes the n-th trace record — the execution order, and
+// therefore the engine's logical-read digest, is independent of the policy
+// wiring. Write workloads (OCT) can reorder execution through lock waits,
+// so equivalence is asserted only for read-only streams; the conservation
+// invariants hold for any run.
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+
+	"oodb/internal/core"
+	"oodb/internal/engine"
+)
+
+// Stream is a recorded logical transaction stream plus the baseline results
+// of the run that recorded it.
+type Stream struct {
+	Data []byte
+	Base engine.Results
+}
+
+// Record runs cfg while recording its logical transaction stream, returning
+// the stream and the baseline results. Recording taps the generator output
+// before any component reacts to it, so the baseline is byte-identical to
+// an unrecorded run of cfg.
+func Record(cfg engine.Config) (*Stream, error) {
+	if cfg.Record != nil || cfg.Replay != nil {
+		return nil, fmt.Errorf("oracle: config already records or replays a trace")
+	}
+	var buf bytes.Buffer
+	cfg.Record = &buf
+	e, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{Data: buf.Bytes(), Base: res}, nil
+}
+
+// Replay drives cfg from the recorded stream instead of its generator. The
+// caller varies the policy wiring (replacement, clustering, prefetch) while
+// the logical inputs stay fixed.
+func (s *Stream) Replay(cfg engine.Config) (engine.Results, error) {
+	cfg.Record = nil
+	cfg.Replay = bytes.NewReader(s.Data)
+	e, err := engine.New(cfg)
+	if err != nil {
+		return engine.Results{}, err
+	}
+	return e.Run()
+}
+
+// CheckEquivalence asserts logical-result equivalence of two runs of the
+// same recorded read-only stream: identical logical digests (every read saw
+// the same object in the same order with the same found/not-found outcome)
+// and identical logical totals. Physical measurements (response times, I/O
+// counts, hit ratios) are expected to differ — that difference is the
+// experiment.
+func CheckEquivalence(base, other engine.Results) error {
+	switch {
+	case base.LogicalDigest != other.LogicalDigest:
+		return fmt.Errorf("oracle: logical digest diverged: base %016x, other %016x",
+			base.LogicalDigest, other.LogicalDigest)
+	case base.LogicalOps != other.LogicalOps:
+		return fmt.Errorf("oracle: logical op count diverged: base %d, other %d",
+			base.LogicalOps, other.LogicalOps)
+	case base.Completed != other.Completed:
+		return fmt.Errorf("oracle: completed txn count diverged: base %d, other %d",
+			base.Completed, other.Completed)
+	case base.NotFoundReads != other.NotFoundReads:
+		return fmt.Errorf("oracle: not-found read count diverged: base %d, other %d",
+			base.NotFoundReads, other.NotFoundReads)
+	}
+	return nil
+}
+
+// CheckConservation asserts the physical-accounting invariants of one run.
+//
+// Unconditional invariants:
+//   - buffer occupancy never exceeds the pool capacity;
+//   - every lock acquired was granted and released, and none is held at end
+//     of run (when locking is enabled).
+//
+// Read-mapping invariants — every logical read maps to exactly one buffer
+// hit or one disk read, and every foreground write to a dirty-victim flush —
+// additionally require that nothing else touches the pool: no prefetch (the
+// within-database flavor issues extra pool accesses), no write transactions
+// (writes re-access pages and inspect clustering candidates), and no warmup
+// window (pool statistics cover the whole run, metrics skip warmup).
+func CheckConservation(r engine.Results) error {
+	if r.PoolResident > r.PoolCapacity {
+		return fmt.Errorf("oracle: buffer occupancy %d exceeds pool capacity %d",
+			r.PoolResident, r.PoolCapacity)
+	}
+	if r.Config.Locking {
+		if r.Locks.Granted != r.Locks.Requests {
+			return fmt.Errorf("oracle: lock grants %d != requests %d", r.Locks.Granted, r.Locks.Requests)
+		}
+		if r.Locks.Releases != r.Locks.Requests {
+			return fmt.Errorf("oracle: lock releases %d != requests %d", r.Locks.Releases, r.Locks.Requests)
+		}
+		if r.LocksHeld != 0 {
+			return fmt.Errorf("oracle: %d locks still held at end of run", r.LocksHeld)
+		}
+	}
+	if r.Config.Prefetch == core.NoPrefetch && r.WriteTxns == 0 && r.Config.Warmup == 0 {
+		if r.PhysReads != r.Pool.Misses {
+			return fmt.Errorf("oracle: physical reads %d != pool misses %d", r.PhysReads, r.Pool.Misses)
+		}
+		if got := r.Pool.Hits + r.Pool.Misses; r.LogicalOps-r.NotFoundReads != got {
+			return fmt.Errorf("oracle: logical reads %d (of which %d not found) != pool accesses %d",
+				r.LogicalOps, r.NotFoundReads, got)
+		}
+		if r.PhysWrites != r.Pool.Flushes {
+			return fmt.Errorf("oracle: physical writes %d != dirty-victim flushes %d",
+				r.PhysWrites, r.Pool.Flushes)
+		}
+	}
+	return nil
+}
+
+// Compare runs the full oracle for one policy pair: replay the stream under
+// both configurations, check conservation on each, and check equivalence
+// between them. The configurations must request the same transaction count
+// the stream was recorded with.
+func (s *Stream) Compare(a, b engine.Config) error {
+	ra, err := s.Replay(a)
+	if err != nil {
+		return fmt.Errorf("oracle: replaying %s: %w", a.Label(), err)
+	}
+	rb, err := s.Replay(b)
+	if err != nil {
+		return fmt.Errorf("oracle: replaying %s: %w", b.Label(), err)
+	}
+	if err := CheckConservation(ra); err != nil {
+		return fmt.Errorf("%w (under %s)", err, a.Label())
+	}
+	if err := CheckConservation(rb); err != nil {
+		return fmt.Errorf("%w (under %s)", err, b.Label())
+	}
+	if err := CheckEquivalence(ra, rb); err != nil {
+		return fmt.Errorf("%w (%s vs %s)", err, a.Label(), b.Label())
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"oodb/internal/buffer"
+	"oodb/internal/core"
+	"oodb/internal/engine"
+	"oodb/internal/storage"
+)
+
+// tinyOCBConfig is a small OCB configuration the oracle tests replay under
+// many wirings.
+func tinyOCBConfig() engine.Config {
+	cfg := engine.DefaultConfig(0.005)
+	cfg.Workload = engine.WorkloadOCB
+	cfg.Transactions = 250
+	cfg.Seed = 7
+	return cfg
+}
+
+// recordTiny records the shared OCB stream once per test binary.
+var sharedStream *Stream
+
+func stream(t *testing.T) *Stream {
+	t.Helper()
+	if sharedStream == nil {
+		s, err := Record(tinyOCBConfig())
+		if err != nil {
+			t.Fatalf("recording OCB stream: %v", err)
+		}
+		sharedStream = s
+	}
+	return sharedStream
+}
+
+// isTestPolicy filters test-only registrations (like the deliberately broken
+// policy below) out of the all-policies sweeps.
+func isTestPolicy(name string) bool { return strings.HasPrefix(name, "test") }
+
+func TestBaselinePassesConservation(t *testing.T) {
+	if err := CheckConservation(stream(t).Base); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOracleAcrossReplacementPolicies replays the recorded stream under
+// every registered replacement policy and checks it against the default
+// wiring: same logical results, conserved physical accounting.
+func TestOracleAcrossReplacementPolicies(t *testing.T) {
+	s := stream(t)
+	base := tinyOCBConfig()
+	for _, name := range buffer.PolicyNames() {
+		if isTestPolicy(name) {
+			continue
+		}
+		variant := base
+		variant.ReplacementName = name
+		if err := s.Compare(base, variant); err != nil {
+			t.Errorf("replacement %q: %v", name, err)
+		}
+	}
+}
+
+// TestOracleAcrossClusterStrategies does the same across the registered
+// clustering strategies.
+func TestOracleAcrossClusterStrategies(t *testing.T) {
+	s := stream(t)
+	base := tinyOCBConfig()
+	for _, name := range core.ClusterStrategyNames() {
+		variant := base
+		variant.ClusterStrategy = name
+		if err := s.Compare(base, variant); err != nil {
+			t.Errorf("cluster strategy %q: %v", name, err)
+		}
+	}
+}
+
+// TestOracleAcrossPrefetchPolicies does the same across the prefetch levels.
+func TestOracleAcrossPrefetchPolicies(t *testing.T) {
+	s := stream(t)
+	base := tinyOCBConfig()
+	for _, pf := range []core.PrefetchPolicy{core.NoPrefetch, core.PrefetchWithinBuffer, core.PrefetchWithinDB} {
+		variant := base
+		variant.Prefetch = pf
+		if err := s.Compare(base, variant); err != nil {
+			t.Errorf("prefetch %v: %v", pf, err)
+		}
+	}
+}
+
+// TestOCTStreamConservation: the conservation half of the oracle applies to
+// write workloads too (equivalence does not — lock waits can reorder write
+// execution). Record an OCT stream and check conservation under two
+// policies.
+func TestOCTStreamConservation(t *testing.T) {
+	cfg := engine.DefaultConfig(0.005)
+	cfg.Transactions = 250
+	cfg.Seed = 7
+	s, err := Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckConservation(s.Base); err != nil {
+		t.Fatal(err)
+	}
+	variant := cfg
+	variant.ReplacementName = "clock"
+	res, err := s.Replay(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckConservation(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// brokenPolicy is the deliberately faulty test-only replacement policy: its
+// Victim always names a page that was never resident, so the pool's
+// eviction is a no-op and occupancy creeps past capacity — exactly what the
+// occupancy conservation invariant exists to catch.
+type brokenPolicy struct{}
+
+func (brokenPolicy) Name() string            { return "test-broken" }
+func (brokenPolicy) Admitted(storage.PageID) {}
+func (brokenPolicy) Touched(storage.PageID)  {}
+func (brokenPolicy) Boosted(storage.PageID)  {}
+func (brokenPolicy) Removed(storage.PageID)  {}
+func (brokenPolicy) Victim(func(storage.PageID) bool) (storage.PageID, bool) {
+	return storage.PageID(1 << 30), true
+}
+
+func init() {
+	buffer.RegisterPolicy("test-broken", func(buffer.PolicyConfig) buffer.Policy {
+		return brokenPolicy{}
+	})
+}
+
+// TestBrokenPolicyCaughtByConservation: the oracle must flag the broken
+// policy via at least one conservation invariant.
+func TestBrokenPolicyCaughtByConservation(t *testing.T) {
+	s := stream(t)
+	cfg := tinyOCBConfig()
+	cfg.ReplacementName = "test-broken"
+	res, err := s.Replay(cfg)
+	if err != nil {
+		t.Fatalf("replay under broken policy: %v", err)
+	}
+	err = CheckConservation(res)
+	if err == nil {
+		t.Fatal("conservation check passed for the deliberately broken policy")
+	}
+	if !strings.Contains(err.Error(), "occupancy") {
+		t.Fatalf("expected the occupancy invariant to fire, got: %v", err)
+	}
+}
+
+// TestEquivalenceDetectsDivergence: feeding the equivalence check two
+// different streams' results must fail — the check is not vacuous.
+func TestEquivalenceDetectsDivergence(t *testing.T) {
+	s := stream(t)
+	other := tinyOCBConfig()
+	other.Seed = 8
+	s2, err := Record(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEquivalence(s.Base, s2.Base); err == nil {
+		t.Fatal("equivalence check passed for two different streams")
+	}
+}

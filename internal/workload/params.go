@@ -108,6 +108,24 @@ const (
 	// insertion/deletion/updating").
 	QDelete
 
+	// The four OCB operation kinds (internal/ocb). All are reads; the trace
+	// format validates kinds against NumQueryKinds, so appending here keeps
+	// recorded OCT traces readable while letting OCB streams record/replay
+	// through the same machinery.
+
+	// QOCBScan is an OCB set-oriented scan over one class extent; the
+	// sampled extent slice rides in Txn.Scan.
+	QOCBScan
+	// QOCBSimple is an OCB simple traversal: a depth-bounded walk along
+	// configuration references from Txn.Target.
+	QOCBSimple
+	// QOCBHierarchy is an OCB hierarchy traversal: from Txn.Target up the
+	// inheritance (version-derivation) chain.
+	QOCBHierarchy
+	// QOCBStochastic is an OCB stochastic traversal: a pre-resolved random
+	// walk along configuration references, carried in Txn.Scan.
+	QOCBStochastic
+
 	// NumQueryKinds is the number of query kinds.
 	NumQueryKinds
 )
@@ -116,6 +134,7 @@ var queryKindNames = [NumQueryKinds]string{
 	"simple-lookup", "component-retrieval", "composite-retrieval",
 	"descendant-version", "ancestor-version", "corresponding",
 	"insert", "update", "struct-update", "derive", "scan", "checkout", "delete",
+	"ocb-scan", "ocb-simple", "ocb-hierarchy", "ocb-stochastic",
 }
 
 // String names the query kind.

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Coverage ratchet: total statement coverage (short mode) must not fall
+# below the floor recorded in scripts/coverage_floor.txt. Raise the floor
+# when coverage rises durably; never lower it to make a change pass.
+#
+# Usage: ./scripts/coverage.sh [profile-out]
+set -eu
+
+dir=$(dirname "$0")
+floor=$(cat "$dir/coverage_floor.txt")
+profile=${1:-coverage.out}
+
+go test -short -count=1 -coverprofile="$profile" ./...
+total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+echo "coverage: total ${total}% (floor ${floor}%)"
+if ! awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t + 0 >= f + 0) }'; then
+    echo "coverage.sh: total coverage ${total}% fell below the ${floor}% floor" >&2
+    exit 1
+fi

@@ -16,8 +16,20 @@ if command -v staticcheck >/dev/null 2>&1; then
 else
     echo "verify.sh: staticcheck not installed; skipping (CI runs it)" >&2
 fi
-go test "$@" ./...
-go test -race "$@" ./internal/experiment/... ./internal/sim/...
+# run_tests wraps go test: -count=1 defeats the test cache, and a "no tests
+# to run" warning fails the build — a typo'd -run pattern matches nothing,
+# exits 0, and would otherwise masquerade as green.
+run_tests() {
+    out=$(go test -count=1 "$@" 2>&1) || { printf '%s\n' "$out"; exit 1; }
+    printf '%s\n' "$out"
+    if printf '%s\n' "$out" | grep -q 'no tests to run'; then
+        echo "verify.sh: go test $* matched no tests" >&2
+        exit 1
+    fi
+}
+
+run_tests "$@" ./...
+run_tests -race "$@" ./internal/experiment/... ./internal/sim/... ./internal/oracle/...
 # Bench smoke: every benchmark must run once without failing (full runs and
 # the BENCH_2.json report come from scripts/bench.sh).
 go test -run '^$' -bench . -benchtime 1x ./...
