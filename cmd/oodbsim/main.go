@@ -39,6 +39,9 @@ func main() {
 		verb   = flag.Bool("v", false, "print per-run progress (concurrency-safe)")
 		asJSON = flag.Bool("json", false, "emit tables as JSON instead of text")
 
+		tier     = flag.String("tier", "", "single run: scale tier (default | medium | large) — sets sizing, workload, and scale mechanics; explicit flags still override")
+		calendar = flag.String("calendar", "", "event-calendar implementation: heap (reference, default) | wheel (flat cost at large event counts)")
+
 		wl       = flag.String("workload", "oct", "workload: oct (the paper's model) | ocb (synthetic object-base benchmark)")
 		ocbDist  = flag.String("ocb-dist", "zipf", "ocb workload: reference distribution (uniform | zipf | clustered)")
 		ocbRefs  = flag.Int("ocb-refs", 0, "ocb workload: configuration references per object (0 = default)")
@@ -73,7 +76,7 @@ func main() {
 	}
 
 	opt := oodb.ExperimentOptions{Scale: *scale, Transactions: *txns, Seed: *seed, Replications: *reps, Workers: *par,
-		CheckpointDir: *ckptDir, CheckpointEachAt: *ckptEachAt}
+		CheckpointDir: *ckptDir, CheckpointEachAt: *ckptEachAt, Calendar: *calendar}
 	if *wl != "oct" {
 		opt.Workload = *wl
 	}
@@ -82,8 +85,11 @@ func main() {
 	}
 
 	if *single {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		s := singleRun{
-			scale: *scale, txns: *txns, seed: *seed,
+			scale: *scale, txns: *txns, seed: *seed, set: set,
+			tier: *tier, calendar: *calendar,
 			density: *density, rw: *rw, cluster: *cluster, repl: *repl,
 			prefetch: *prefetch, strategy: *strategy, observe: *observe,
 			checkpoint: *ckptFile, checkpointAt: *ckptAt, resume: *resume,
@@ -150,15 +156,70 @@ type singleRun struct {
 	ocbRefs  int
 	ocbDepth int
 	ocbScan  int
+
+	tier     string
+	calendar string
+	set      map[string]bool // flags the user passed explicitly
 }
 
 func (s singleRun) config() (oodb.SimConfig, error) {
-	cfg := oodb.DefaultSimConfig(s.scale)
+	var cfg oodb.SimConfig
+	var err error
+	if s.tier != "" {
+		// A tier is a complete configuration; explicit flags override it,
+		// defaults do not.
+		if cfg, err = oodb.TierSimConfig(s.tier); err != nil {
+			return cfg, err
+		}
+		if s.set["txns"] {
+			cfg.Transactions = s.txns
+		}
+		if s.set["seed"] {
+			cfg.Seed = s.seed
+		}
+		if s.calendar != "" {
+			cfg.Calendar = s.calendar
+		}
+		// Policy flags are orthogonal to tier sizing and still apply;
+		// workload-shape flags are not — the tier defines the workload.
+		for _, f := range []string{"workload", "density", "rw", "ocb-dist", "ocb-refs", "ocb-depth", "ocb-scan"} {
+			if s.set[f] {
+				return cfg, fmt.Errorf("-tier defines the workload; -%s cannot be combined with it", f)
+			}
+		}
+		if s.set["cluster"] {
+			if cfg.Cluster, err = oodb.ParseClusterPolicy(s.cluster); err != nil {
+				return cfg, err
+			}
+		}
+		if s.set["repl"] {
+			if cfg.Replacement, err = oodb.ParseReplacement(s.repl); err != nil {
+				if !oodb.HasReplacementPolicy(s.repl) {
+					return cfg, fmt.Errorf("unknown replacement policy %q (registered: %v)", s.repl, oodb.ReplacementPolicies())
+				}
+				cfg.ReplacementName = s.repl
+			}
+		}
+		if s.set["prefetch"] {
+			if cfg.Prefetch, err = oodb.ParsePrefetchPolicy(s.prefetch); err != nil {
+				return cfg, err
+			}
+		}
+		if s.strategy != "" {
+			if !oodb.HasClusterStrategy(s.strategy) {
+				return cfg, fmt.Errorf("unknown cluster strategy %q (registered: %v)", s.strategy, oodb.ClusterStrategies())
+			}
+			cfg.ClusterStrategy = s.strategy
+		}
+		return cfg, nil
+	}
+	cfg = oodb.DefaultSimConfig(s.scale)
 	cfg.Transactions = s.txns
 	cfg.Seed = s.seed
 	cfg.ReadWriteRatio = s.rw
-
-	var err error
+	if s.calendar != "" {
+		cfg.Calendar = s.calendar
+	}
 	if cfg.Density, err = oodb.ParseDensity(s.density); err != nil {
 		return cfg, err
 	}
@@ -239,7 +300,7 @@ func (s singleRun) run() error {
 	case s.checkpoint != "":
 		k := s.checkpointAt
 		if k <= 0 {
-			k = s.txns / 2
+			k = cfg.Transactions / 2
 		}
 		f, err := os.Create(s.checkpoint)
 		if err != nil {

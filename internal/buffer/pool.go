@@ -75,7 +75,7 @@ func (s Stats) HitRatio() float64 {
 type Pool struct {
 	capacity int
 	policy   Policy
-	resident map[storage.PageID]frame
+	resident *frameTable
 	pinnedFn func(storage.PageID) bool // p.pinned, bound once
 	stats    Stats
 	rec      obs.Recorder // nil = uninstrumented
@@ -90,30 +90,45 @@ type frame struct {
 // resident page is pinned.
 var ErrAllPinned = errors.New("buffer: all pages pinned")
 
-// NewPool creates a pool with the given frame count and replacement policy.
+// NewPool creates a single-shard pool with the given frame count and
+// replacement policy (the right shape for paper-scale pools of a few
+// thousand frames).
 func NewPool(capacity int, policy Policy) *Pool {
+	return NewPoolSharded(capacity, policy, 1)
+}
+
+// NewPoolSharded creates a pool whose resident-page table is sharded by
+// page-ID hash (rounded up to a power of two; shards < 1 selects one).
+// Shard count never changes observable behavior — replacement order is a
+// global property and stays with the policy — it only spreads table
+// locking for concurrent residency probes. A one-shard pool skips the
+// locks entirely and so, like the pre-sharding pool, is single-threaded;
+// concurrent probes require two or more shards.
+func NewPoolSharded(capacity int, policy Policy, shards int) *Pool {
 	if capacity < 1 {
 		panic("buffer: capacity must be at least 1")
 	}
 	p := &Pool{
 		capacity: capacity,
 		policy:   policy,
-		resident: make(map[storage.PageID]frame, capacity),
+		resident: newFrameTable(capacity, shards),
 	}
 	p.pinnedFn = p.pinned
 	return p
 }
 
+// Shards returns the resident-table shard count.
+func (p *Pool) Shards() int { return len(p.resident.shards) }
+
 // Capacity returns the frame count.
 func (p *Pool) Capacity() int { return p.capacity }
 
 // Resident returns the number of resident pages.
-func (p *Pool) Resident() int { return len(p.resident) }
+func (p *Pool) Resident() int { return p.resident.len() }
 
 // Contains reports whether pg is resident.
 func (p *Pool) Contains(pg storage.PageID) bool {
-	_, ok := p.resident[pg]
-	return ok
+	return p.resident.contains(pg)
 }
 
 // Policy returns the replacement policy.
@@ -129,18 +144,19 @@ func (p *Pool) Stats() Stats { return p.stats }
 func (p *Pool) ResetStats() { p.stats = Stats{} }
 
 func (p *Pool) pinned(pg storage.PageID) bool {
-	return p.resident[pg].pins > 0
+	f, _ := p.resident.get(pg)
+	return f.pins > 0
 }
 
 // admit evicts if the pool is full (recording the victim in res) and makes
 // pg resident.
 func (p *Pool) admit(pg storage.PageID, res *AccessResult) error {
-	if len(p.resident) >= p.capacity {
+	if p.resident.len() >= p.capacity {
 		victim, ok := p.policy.Victim(p.pinnedFn)
 		if !ok {
 			return ErrAllPinned
 		}
-		vf := p.resident[victim]
+		vf, _ := p.resident.get(victim)
 		res.Victim = victim
 		res.VictimDirty = vf.dirty
 		if vf.dirty {
@@ -153,10 +169,10 @@ func (p *Pool) admit(pg storage.PageID, res *AccessResult) error {
 		if p.rec != nil {
 			p.rec.Count(obs.PoolEvict, 1)
 		}
-		delete(p.resident, victim)
+		p.resident.delete(victim)
 		p.policy.Removed(victim)
 	}
-	p.resident[pg] = frame{}
+	p.resident.set(pg, frame{})
 	p.policy.Admitted(pg)
 	return nil
 }
@@ -167,7 +183,7 @@ func (p *Pool) Access(pg storage.PageID) (AccessResult, error) {
 	if pg == storage.NilPage {
 		return AccessResult{}, fmt.Errorf("buffer: access to nil page")
 	}
-	if _, ok := p.resident[pg]; ok {
+	if p.resident.contains(pg) {
 		p.stats.Hits++
 		if p.rec != nil {
 			p.rec.Count(obs.PoolHit, 1)
@@ -194,7 +210,7 @@ func (p *Pool) Install(pg storage.PageID) (AccessResult, error) {
 	if pg == storage.NilPage {
 		return AccessResult{}, fmt.Errorf("buffer: install of nil page")
 	}
-	if _, ok := p.resident[pg]; ok {
+	if p.resident.contains(pg) {
 		p.stats.Hits++
 		if p.rec != nil {
 			p.rec.Count(obs.PoolHit, 1)
@@ -212,33 +228,33 @@ func (p *Pool) Install(pg storage.PageID) (AccessResult, error) {
 // MarkDirty flags a resident page as modified. Marking a non-resident page
 // is a model bug and returns an error.
 func (p *Pool) MarkDirty(pg storage.PageID) error {
-	f, ok := p.resident[pg]
+	f, ok := p.resident.get(pg)
 	if !ok {
 		return fmt.Errorf("buffer: MarkDirty on non-resident page %d", pg)
 	}
 	f.dirty = true
-	p.resident[pg] = f
+	p.resident.set(pg, f)
 	return nil
 }
 
 // IsDirty reports whether pg is resident and dirty.
 func (p *Pool) IsDirty(pg storage.PageID) bool {
-	f, ok := p.resident[pg]
+	f, ok := p.resident.get(pg)
 	return ok && f.dirty
 }
 
 // Clean clears the dirty flag (after an explicit write-back).
 func (p *Pool) Clean(pg storage.PageID) {
-	if f, ok := p.resident[pg]; ok {
+	if f, ok := p.resident.get(pg); ok {
 		f.dirty = false
-		p.resident[pg] = f
+		p.resident.set(pg, f)
 	}
 }
 
 // Boost raises pg's replacement priority if it is resident; non-resident
 // pages are ignored (prefetch-within-buffer never triggers I/O).
 func (p *Pool) Boost(pg storage.PageID) {
-	if _, ok := p.resident[pg]; ok {
+	if p.resident.contains(pg) {
 		p.stats.Boosts++
 		if p.rec != nil {
 			p.rec.Count(obs.PoolBoost, 1)
@@ -250,18 +266,18 @@ func (p *Pool) Boost(pg storage.PageID) {
 // Pin prevents pg from being evicted until Unpin. Pinning a non-resident
 // page is an error.
 func (p *Pool) Pin(pg storage.PageID) error {
-	f, ok := p.resident[pg]
+	f, ok := p.resident.get(pg)
 	if !ok {
 		return fmt.Errorf("buffer: Pin on non-resident page %d", pg)
 	}
 	f.pins++
-	p.resident[pg] = f
+	p.resident.set(pg, f)
 	return nil
 }
 
 // Unpin releases one pin on pg.
 func (p *Pool) Unpin(pg storage.PageID) error {
-	f, ok := p.resident[pg]
+	f, ok := p.resident.get(pg)
 	if !ok {
 		return fmt.Errorf("buffer: Unpin on non-resident page %d", pg)
 	}
@@ -269,13 +285,13 @@ func (p *Pool) Unpin(pg storage.PageID) error {
 		return fmt.Errorf("buffer: Unpin on unpinned page %d", pg)
 	}
 	f.pins--
-	p.resident[pg] = f
+	p.resident.set(pg, f)
 	return nil
 }
 
 // ForEachResident calls fn for every resident page, in no particular order.
 func (p *Pool) ForEachResident(fn func(pg storage.PageID, dirty bool)) {
-	for pg, f := range p.resident {
+	p.resident.forEach(func(pg storage.PageID, f frame) {
 		fn(pg, f.dirty)
-	}
+	})
 }

@@ -1,0 +1,111 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+
+	"oodb/internal/storage"
+)
+
+// Shard count must be invisible: replacement order is the policy's global
+// property, so the same access trace produces identical stats, victims, and
+// residency at every shard count.
+func TestPoolShardCountInvisible(t *testing.T) {
+	trace := make([]storage.PageID, 0, 4000)
+	for i := 0; i < 1000; i++ {
+		trace = append(trace,
+			storage.PageID(i%97+1),    // working set larger than the pool
+			storage.PageID(i%13+1),    // hot set
+			storage.PageID(i*31%61+1), // scattered
+			storage.PageID(i%7+1),
+		)
+	}
+	run := func(shards int) (Stats, []FrameState) {
+		p := NewPoolSharded(64, NewLRU(), shards)
+		for i, pg := range trace {
+			if _, err := p.Access(pg); err != nil {
+				t.Fatal(err)
+			}
+			if i%5 == 0 {
+				if err := p.MarkDirty(pg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if i%11 == 0 {
+				p.Boost(pg)
+			}
+		}
+		st, err := p.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Stats(), st.Frames
+	}
+	baseStats, baseFrames := run(1)
+	for _, n := range []int{4, 16, 64} {
+		s, frames := run(n)
+		if s != baseStats {
+			t.Fatalf("shards=%d stats %+v != 1-shard %+v", n, s, baseStats)
+		}
+		if len(frames) != len(baseFrames) {
+			t.Fatalf("shards=%d resident %d != %d", n, len(frames), len(baseFrames))
+		}
+		for i := range frames {
+			if frames[i] != baseFrames[i] {
+				t.Fatalf("shards=%d frame %d: %+v != %+v", n, i, frames[i], baseFrames[i])
+			}
+		}
+	}
+}
+
+func TestPoolShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-1, 1}, {0, 1}, {1, 1}, {3, 4}, {64, 64}, {100, 128},
+	} {
+		if got := NewPoolSharded(8, NewLRU(), tc.in).Shards(); got != tc.want {
+			t.Fatalf("NewPoolSharded(8, lru, %d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestConcurrentResidencyProbes validates the sharded table's concurrency
+// contract under -race: residency probes (Contains, IsDirty, Resident) may
+// run concurrently with a single mutator.
+func TestConcurrentResidencyProbes(t *testing.T) {
+	p := NewPoolSharded(256, NewLRU(), 16)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pg := storage.PageID(i%1024 + 1)
+				p.Contains(pg)
+				p.IsDirty(pg)
+				p.Resident()
+			}
+		}()
+	}
+	for i := 0; i < 20000; i++ {
+		pg := storage.PageID(i%1024 + 1)
+		if _, err := p.Access(pg); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := p.MarkDirty(pg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := p.Resident(); got != 256 {
+		t.Fatalf("resident = %d, want 256", got)
+	}
+}

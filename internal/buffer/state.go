@@ -174,13 +174,13 @@ func (p *Pool) Snapshot() (PoolState, error) {
 	}
 	st := PoolState{
 		Capacity: p.capacity,
-		Frames:   make([]FrameState, 0, len(p.resident)),
+		Frames:   make([]FrameState, 0, p.resident.len()),
 		Stats:    p.stats,
 		Policy:   sp.Snapshot(),
 	}
-	for pg, f := range p.resident {
+	p.resident.forEach(func(pg storage.PageID, f frame) {
 		st.Frames = append(st.Frames, FrameState{Page: pg, Dirty: f.dirty, Pins: f.pins})
-	}
+	})
 	sort.Slice(st.Frames, func(i, j int) bool { return st.Frames[i].Page < st.Frames[j].Page })
 	return st, nil
 }
@@ -210,7 +210,7 @@ func (p *Pool) Restore(st PoolState) error {
 	if err := sp.Restore(st.Policy); err != nil {
 		return err
 	}
-	p.resident = resident
+	p.resident.reset(resident)
 	p.stats = st.Stats
 	return nil
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -28,11 +29,20 @@ import (
 
 // CheckpointVersion is the checkpoint file format version. Version 2 added
 // the workload-family tag, the OCB generator state, and the logical-read
-// digest; version-1 checkpoints (which predate them) no longer load.
-const CheckpointVersion = 2
+// digest. Version 3 added the scale mechanics (reservoir tally state and
+// the StatsReservoir configuration field, which changes every fingerprint).
+// Older checkpoints no longer load; they fail with the typed
+// checkpoint.ErrVersion rather than a misleading fingerprint mismatch.
+const CheckpointVersion = 3
 
 // checkpointKind tags engine checkpoints inside the shared envelope.
 const checkpointKind = "engine-checkpoint"
+
+// ErrConfigMismatch means a checkpoint's embedded fingerprint does not match
+// the configuration it is being restored under. Callers distinguish it (and
+// checkpoint.ErrVersion) from I/O failures to decide whether a stale file
+// can simply be discarded and regenerated.
+var ErrConfigMismatch = errors.New("engine: checkpoint was taken under a different configuration")
 
 // UserState is one user's think/submit position: how many transactions
 // remain in the current session and the pending think-wake event, if any.
@@ -355,7 +365,7 @@ func Resume(cfg Config, ck *Checkpoint) (*Engine, error) {
 		return nil, fmt.Errorf("engine: resume with trace record/replay is not supported")
 	}
 	if ck.Fingerprint != cfg.Fingerprint() {
-		return nil, fmt.Errorf("engine: checkpoint was taken under a different configuration")
+		return nil, ErrConfigMismatch
 	}
 	e, err := New(cfg)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"oodb/internal/model"
 	"oodb/internal/obs"
 	"oodb/internal/ocb"
+	"oodb/internal/sim"
 	"oodb/internal/workload"
 )
 
@@ -103,6 +104,31 @@ type Config struct {
 	// HintKind is the relationship user hints advertise when Hints is
 	// UserHints; design tools overwhelmingly hint configuration access.
 	HintKind core.Hint
+
+	// --- Scale mechanics ---
+
+	// Calendar selects the kernel's event-calendar implementation: "" or
+	// "heap" for the reference binary heap, "wheel" for the hierarchical
+	// timing wheel. Every calendar dispatches in identical (time, seq)
+	// order, so this is purely a performance knob: the wheel keeps
+	// per-event cost flat at large pending-event populations (it wins
+	// above roughly a thousand concurrent users).
+	Calendar string
+	// LockShards is the lock-table shard count (rounded up to a power of
+	// two); 0 or 1 keeps the single-shard default. Sharding never changes
+	// observable behavior.
+	LockShards int
+	// BufferShards is the buffer-pool resident-table shard count (rounded
+	// up to a power of two); 0 or 1 keeps the single-shard default.
+	// Sharding never changes observable behavior.
+	BufferShards int
+	// StatsReservoir, when positive, bounds the response-time samples
+	// retained for percentile reporting to a uniform reservoir of this
+	// size per metric, making metrics memory O(1) in the transaction
+	// count. Zero keeps the exact retain-all percentiles (the default;
+	// required for byte-identical paper figures). Means and variances are
+	// exact either way.
+	StatsReservoir int
 
 	// --- Extensions (the paper's Section 6 future-work directions) ---
 
@@ -251,6 +277,14 @@ func (c Config) Validate() error {
 			c.ClusterStrategy, core.ClusterStrategyNames())
 	case c.Record != nil && c.Replay != nil:
 		return fmt.Errorf("engine: Record and Replay are mutually exclusive")
+	case c.StatsReservoir < 0:
+		return fmt.Errorf("engine: StatsReservoir must be non-negative")
+	}
+	switch c.Calendar {
+	case "", sim.CalendarHeap, sim.CalendarWheel:
+	default:
+		return fmt.Errorf("engine: unknown calendar %q (have %v)",
+			c.Calendar, sim.CalendarKinds())
 	}
 	switch c.Workload {
 	case "", WorkloadOCT:
@@ -274,6 +308,14 @@ func (c Config) Fingerprint() string {
 	c.Trace = nil
 	c.Record = nil
 	c.Replay = nil
+	// The scale mechanics below change how state is organized, not what the
+	// simulation does — the calendar dispatches in heap order and shard
+	// counts are invisible to single-threaded behavior (the differential
+	// tests assert both). Excluding them lets a checkpoint taken at one
+	// scale wiring resume under another, e.g. heap/unsharded → wheel/sharded.
+	c.Calendar = ""
+	c.LockShards = 0
+	c.BufferShards = 0
 	return fmt.Sprintf("%+v", c)
 }
 

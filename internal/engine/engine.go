@@ -77,7 +77,10 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := sim.New(cfg.Seed)
+	s, err := sim.NewWithCalendar(cfg.Seed, cfg.Calendar)
+	if err != nil {
+		return nil, err
+	}
 
 	// Either workload family yields a (graph, store) pair; everything below
 	// the workload seam is family-agnostic.
@@ -128,7 +131,7 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool := buffer.NewPool(cfg.Buffers, policy)
+	pool := buffer.NewPoolSharded(cfg.Buffers, policy, cfg.BufferShards)
 	pool.SetRecorder(cfg.Recorder)
 	store.SetRecorder(cfg.Recorder)
 
@@ -187,7 +190,7 @@ func New(cfg Config) (*Engine, error) {
 	if base != nil {
 		e.access.(*stack).ocbDepth = cfg.OCB.WithDefaults().Depth
 	}
-	e.metrics.warmup = cfg.Warmup
+	e.metrics.init(cfg)
 
 	e.cpu = sim.NewStation(s, "cpu", 1)
 	for d := 0; d < cfg.Disks; d++ {
@@ -196,7 +199,7 @@ func New(cfg Config) (*Engine, error) {
 	e.logDisk = sim.NewStation(s, "logdisk", 1)
 
 	if cfg.Locking {
-		e.locks = lock.NewManager()
+		e.locks = lock.NewManagerSharded(cfg.LockShards)
 		e.locks.SetRecorder(cfg.Recorder)
 	}
 	if len(cfg.PhasedRW) > 0 || cfg.AdaptiveClustering {
@@ -263,6 +266,25 @@ func (e *Engine) Run() (Results, error) {
 	e.sim.RunAll()
 	return e.finish()
 }
+
+// RunN steps the simulation until n more transactions complete (or the
+// event calendar drains, whichever is first) and returns how many
+// completed. It leaves the engine mid-run: the macro-benchmark and the
+// future server loop use it to drive bounded slices of work; call Run or
+// RunN again to continue.
+func (e *Engine) RunN(n int) (int, error) {
+	e.start()
+	target := e.completed + n
+	for e.completed < target && e.sim.Step() {
+	}
+	if e.metrics.err != nil {
+		return 0, e.metrics.err
+	}
+	return n - (target - e.completed), nil
+}
+
+// EventsExecuted returns the number of kernel events executed so far.
+func (e *Engine) EventsExecuted() uint64 { return e.sim.Executed() }
 
 // finish flushes the trace recorder and renders results.
 func (e *Engine) finish() (Results, error) {

@@ -8,10 +8,21 @@
 // deadlock by requesting each transaction's whole lock set in a global
 // order (the engine sorts by object ID); the manager itself only promises
 // FIFO fairness, not deadlock detection.
+//
+// The lock table is sharded by object-ID hash: each shard owns its own
+// mutex, entry map, and statistics, so per-operation cost stays flat as the
+// table grows and independent transactions on different shards can proceed
+// concurrently (the server roadmap item). Per-transaction held-lock lists
+// shard separately by transaction ID. No operation ever holds two shard
+// mutexes at once, and grant callbacks always fire with no mutex held —
+// a callback is free to re-enter the manager. Sharding never changes
+// observable behavior: single-threaded runs are byte-identical at any
+// shard count.
 package lock
 
 import (
 	"fmt"
+	"sync"
 
 	"oodb/internal/model"
 	"oodb/internal/obs"
@@ -44,6 +55,17 @@ type Stats struct {
 	MaxWaiters int // longest queue observed on one object
 }
 
+// merge folds o into s: counters add, high-water marks take the max.
+func (s *Stats) merge(o Stats) {
+	s.Requests += o.Requests
+	s.Granted += o.Granted
+	s.Conflicts += o.Conflicts
+	s.Releases += o.Releases
+	if o.MaxWaiters > s.MaxWaiters {
+		s.MaxWaiters = o.MaxWaiters
+	}
+}
+
 type waiter struct {
 	txn   int
 	mode  Mode
@@ -57,31 +79,97 @@ type entry struct {
 	queue   []waiter
 }
 
+// tableShard is one slice of the lock table, self-contained under its own
+// mutex: entries, and the statistics for operations that landed here.
+type tableShard struct {
+	mu    sync.Mutex
+	table map[model.ObjectID]*entry
+	stats Stats
+}
+
+// heldShard is one slice of the per-transaction held-lock index.
+type heldShard struct {
+	mu   sync.Mutex
+	held map[int][]model.ObjectID
+}
+
 // Manager is the lock manager.
 type Manager struct {
-	table map[model.ObjectID]*entry
-	// held tracks each transaction's locked objects for O(1) release.
-	held  map[int][]model.ObjectID
-	stats Stats
-	rec   obs.Recorder // nil = uninstrumented
+	shards []tableShard
+	heldSh []heldShard
+	mask   uint64
+	rec    obs.Recorder // nil = uninstrumented
 }
 
 // SetRecorder installs the instrumentation hook; nil disables it.
 func (m *Manager) SetRecorder(r obs.Recorder) { m.rec = r }
 
-// NewManager returns an empty lock manager.
-func NewManager() *Manager {
-	return &Manager{
-		table: make(map[model.ObjectID]*entry),
-		held:  make(map[int][]model.ObjectID),
+// NewManager returns an empty single-shard lock manager (the default for
+// the paper-scale tier, where the table holds tens of entries).
+func NewManager() *Manager { return NewManagerSharded(1) }
+
+// NewManagerSharded returns an empty lock manager with the given shard
+// count, rounded up to a power of two; n < 1 selects one shard.
+func NewManagerSharded(n int) *Manager {
+	n = ceilPow2(n)
+	m := &Manager{
+		shards: make([]tableShard, n),
+		heldSh: make([]heldShard, n),
+		mask:   uint64(n - 1),
 	}
+	for i := range m.shards {
+		m.shards[i].table = make(map[model.ObjectID]*entry)
+		m.heldSh[i].held = make(map[int][]model.ObjectID)
+	}
+	return m
 }
 
-// Stats returns a copy of the statistics.
-func (m *Manager) Stats() Stats { return m.stats }
+// Shards returns the shard count.
+func (m *Manager) Shards() int { return len(m.shards) }
 
-// ResetStats zeroes the statistics.
-func (m *Manager) ResetStats() { m.stats = Stats{} }
+func ceilPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// fibMix spreads sequential IDs across shards (Fibonacci hashing).
+const fibMix = 0x9E3779B97F4A7C15
+
+func (m *Manager) shardFor(obj model.ObjectID) *tableShard {
+	return &m.shards[(uint64(obj)*fibMix>>32)&m.mask]
+}
+
+func (m *Manager) heldFor(txn int) *heldShard {
+	return &m.heldSh[(uint64(txn)*fibMix>>32)&m.mask]
+}
+
+// Stats returns the statistics merged across shards.
+func (m *Manager) Stats() Stats {
+	var s Stats
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		s.merge(sh.stats)
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// ResetStats zeroes the statistics on every shard.
+func (m *Manager) ResetStats() {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		sh.stats = Stats{}
+		sh.mu.Unlock()
+	}
+}
 
 // compatible reports whether txn may take mode on e right now.
 func compatible(e *entry, txn int, mode Mode) bool {
@@ -122,94 +210,127 @@ func (m *Manager) Acquire(txn int, obj model.ObjectID, mode Mode, grant func()) 
 	if obj == model.NilObject {
 		return false, fmt.Errorf("lock: acquire on nil object")
 	}
-	m.stats.Requests++
-	e := m.table[obj]
+	sh := m.shardFor(obj)
+	sh.mu.Lock()
+	sh.stats.Requests++
+	e := sh.table[obj]
 	if e == nil {
 		e = &entry{holders: make(map[int]Mode, 2)}
-		m.table[obj] = e
+		sh.table[obj] = e
 	}
 	if compatible(e, txn, mode) {
-		m.grantTo(e, txn, obj, mode)
-		m.stats.Granted++
+		newHold := grantTo(e, txn, mode)
+		sh.stats.Granted++
+		sh.mu.Unlock()
+		if newHold {
+			m.recordHeld(txn, obj)
+		}
 		if m.rec != nil {
 			m.rec.Count(obs.LockGrant, 1)
 		}
 		return true, nil
 	}
 	if grant == nil {
+		sh.mu.Unlock()
 		return false, fmt.Errorf("lock: conflicting request without grant callback")
 	}
-	m.stats.Conflicts++
+	sh.stats.Conflicts++
+	e.queue = append(e.queue, waiter{txn: txn, mode: mode, grant: grant})
+	if len(e.queue) > sh.stats.MaxWaiters {
+		sh.stats.MaxWaiters = len(e.queue)
+	}
+	sh.mu.Unlock()
 	if m.rec != nil {
 		m.rec.Count(obs.LockConflict, 1)
-	}
-	e.queue = append(e.queue, waiter{txn: txn, mode: mode, grant: grant})
-	if len(e.queue) > m.stats.MaxWaiters {
-		m.stats.MaxWaiters = len(e.queue)
 	}
 	return false, nil
 }
 
-func (m *Manager) grantTo(e *entry, txn int, obj model.ObjectID, mode Mode) {
+// grantTo records the grant on the entry and reports whether txn is a new
+// holder (and so must be added to its held list). Caller holds the shard
+// mutex.
+func grantTo(e *entry, txn int, mode Mode) (newHold bool) {
 	prev, already := e.holders[txn]
 	if !already || mode > prev {
 		e.holders[txn] = mode
 	}
-	if !already {
-		m.held[txn] = append(m.held[txn], obj)
-	}
+	return !already
+}
+
+func (m *Manager) recordHeld(txn int, obj model.ObjectID) {
+	hs := m.heldFor(txn)
+	hs.mu.Lock()
+	hs.held[txn] = append(hs.held[txn], obj)
+	hs.mu.Unlock()
 }
 
 // ReleaseAll drops every lock txn holds and grants eligible waiters in FIFO
 // order (a released exclusive lock may admit a batch of shared waiters).
 // Grant callbacks run synchronously, after all bookkeeping for that object
-// is updated.
+// is updated and with no shard mutex held.
 func (m *Manager) ReleaseAll(txn int) {
-	objs := m.held[txn]
-	delete(m.held, txn)
+	hs := m.heldFor(txn)
+	hs.mu.Lock()
+	objs := hs.held[txn]
+	delete(hs.held, txn)
+	hs.mu.Unlock()
 	for _, obj := range objs {
-		e := m.table[obj]
+		sh := m.shardFor(obj)
+		sh.mu.Lock()
+		e := sh.table[obj]
 		if e == nil {
+			sh.mu.Unlock()
 			continue
 		}
 		if _, ok := e.holders[txn]; !ok {
+			sh.mu.Unlock()
 			continue
 		}
 		delete(e.holders, txn)
-		m.stats.Releases++
-		m.admit(e, obj)
+		sh.stats.Releases++
+		grants, newHolders := m.admit(sh, e)
 		if len(e.holders) == 0 && len(e.queue) == 0 {
-			delete(m.table, obj)
+			delete(sh.table, obj)
+		}
+		sh.mu.Unlock()
+		for _, w := range newHolders {
+			m.recordHeld(w, obj)
+		}
+		if m.rec != nil {
+			for range grants {
+				m.rec.Count(obs.LockGrant, 1)
+			}
+		}
+		for _, g := range grants {
+			if g != nil {
+				g()
+			}
 		}
 	}
 }
 
-// admit grants queued waiters that have become compatible.
-func (m *Manager) admit(e *entry, obj model.ObjectID) {
-	var grants []func()
+// admit grants queued waiters that have become compatible. Caller holds the
+// shard mutex; callbacks and held-list updates are returned for the caller
+// to apply after unlocking.
+func (m *Manager) admit(sh *tableShard, e *entry) (grants []func(), newHolders []int) {
 	for len(e.queue) > 0 {
 		w := e.queue[0]
-		if !m.queueCompatible(e, w) {
+		if !queueCompatible(e, w) {
 			break
 		}
 		e.queue = e.queue[1:]
-		m.grantTo(e, w.txn, obj, w.mode)
-		m.stats.Granted++
-		if m.rec != nil {
-			m.rec.Count(obs.LockGrant, 1)
+		if grantTo(e, w.txn, w.mode) {
+			newHolders = append(newHolders, w.txn)
 		}
+		sh.stats.Granted++
 		grants = append(grants, w.grant)
 	}
-	for _, g := range grants {
-		if g != nil {
-			g()
-		}
-	}
+	return grants, newHolders
 }
 
 // queueCompatible is compatible() without the exclusive-waiter starvation
 // guard (the head of the queue IS the next waiter).
-func (m *Manager) queueCompatible(e *entry, w waiter) bool {
+func queueCompatible(e *entry, w waiter) bool {
 	if len(e.holders) == 0 {
 		return true
 	}
@@ -229,7 +350,10 @@ func (m *Manager) queueCompatible(e *entry, w waiter) bool {
 
 // Holds reports whether txn currently holds a lock on obj (any mode).
 func (m *Manager) Holds(txn int, obj model.ObjectID) bool {
-	e := m.table[obj]
+	sh := m.shardFor(obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.table[obj]
 	if e == nil {
 		return false
 	}
@@ -238,33 +362,54 @@ func (m *Manager) Holds(txn int, obj model.ObjectID) bool {
 }
 
 // Locked returns the number of objects with at least one holder or waiter.
-func (m *Manager) Locked() int { return len(m.table) }
+func (m *Manager) Locked() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.table)
+		sh.mu.Unlock()
+	}
+	return n
+}
 
 // CheckInvariants validates internal consistency: no object has both an
 // exclusive holder and another holder, and held/table agree.
 func (m *Manager) CheckInvariants() error {
-	for obj, e := range m.table {
-		exclusives := 0
-		for _, mode := range e.holders {
-			if mode == Exclusive {
-				exclusives++
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for obj, e := range sh.table {
+			exclusives := 0
+			for _, mode := range e.holders {
+				if mode == Exclusive {
+					exclusives++
+				}
+			}
+			if exclusives > 0 && len(e.holders) > 1 {
+				sh.mu.Unlock()
+				return fmt.Errorf("lock: object %d has an exclusive holder plus others", obj)
+			}
+			if len(e.holders) == 0 && len(e.queue) > 0 {
+				sh.mu.Unlock()
+				return fmt.Errorf("lock: object %d has waiters but no holders", obj)
 			}
 		}
-		if exclusives > 0 && len(e.holders) > 1 {
-			return fmt.Errorf("lock: object %d has an exclusive holder plus others", obj)
-		}
-		if len(e.holders) == 0 && len(e.queue) > 0 {
-			return fmt.Errorf("lock: object %d has waiters but no holders", obj)
-		}
+		sh.mu.Unlock()
 	}
-	for txn, objs := range m.held {
-		for _, obj := range objs {
-			e := m.table[obj]
-			if e == nil {
-				return fmt.Errorf("lock: txn %d claims unlocked object %d", txn, obj)
-			}
-			if _, ok := e.holders[txn]; !ok {
-				return fmt.Errorf("lock: txn %d claims object %d it does not hold", txn, obj)
+	for i := range m.heldSh {
+		hs := &m.heldSh[i]
+		hs.mu.Lock()
+		claims := make(map[int][]model.ObjectID, len(hs.held))
+		for txn, objs := range hs.held {
+			claims[txn] = append([]model.ObjectID(nil), objs...)
+		}
+		hs.mu.Unlock()
+		for txn, objs := range claims {
+			for _, obj := range objs {
+				if !m.Holds(txn, obj) {
+					return fmt.Errorf("lock: txn %d claims object %d it does not hold", txn, obj)
+				}
 			}
 		}
 	}

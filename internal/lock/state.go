@@ -6,6 +6,8 @@ import "fmt"
 // Held locks and waiter queues carry grant closures and exist only while
 // transactions are in flight, so the manager can only be snapshotted when
 // the lock table is empty — which the engine's quiescence rule guarantees.
+// Statistics are stored merged across shards, so a snapshot taken at one
+// shard count restores into a manager with any other.
 type State struct {
 	Stats Stats
 }
@@ -13,17 +15,31 @@ type State struct {
 // Snapshot captures the statistics. It returns an error if any lock is
 // held or queued: waiter closures cannot be serialized.
 func (m *Manager) Snapshot() (State, error) {
-	if len(m.table) > 0 {
-		return State{}, fmt.Errorf("lock: %d objects still locked", len(m.table))
+	if n := m.Locked(); n > 0 {
+		return State{}, fmt.Errorf("lock: %d objects still locked", n)
 	}
-	return State{Stats: m.stats}, nil
+	return State{Stats: m.Stats()}, nil
 }
 
-// Restore overwrites the statistics. The table must be empty.
+// Restore overwrites the statistics. The table must be empty. The merged
+// statistics land on shard 0; Stats() re-merges, so the round trip is
+// exact.
 func (m *Manager) Restore(s State) error {
-	if len(m.table) > 0 || len(m.held) > 0 {
+	if m.Locked() > 0 {
 		return fmt.Errorf("lock: restore with locks outstanding")
 	}
-	m.stats = s.Stats
+	for i := range m.heldSh {
+		hs := &m.heldSh[i]
+		hs.mu.Lock()
+		n := len(hs.held)
+		hs.mu.Unlock()
+		if n > 0 {
+			return fmt.Errorf("lock: restore with locks outstanding")
+		}
+	}
+	m.ResetStats()
+	m.shards[0].mu.Lock()
+	m.shards[0].stats = s.Stats
+	m.shards[0].mu.Unlock()
 	return nil
 }

@@ -1,12 +1,14 @@
 package oracle
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"oodb/internal/buffer"
 	"oodb/internal/core"
 	"oodb/internal/engine"
+	"oodb/internal/sim"
 	"oodb/internal/storage"
 )
 
@@ -168,5 +170,51 @@ func TestEquivalenceDetectsDivergence(t *testing.T) {
 	}
 	if err := CheckEquivalence(s.Base, s2.Base); err == nil {
 		t.Fatal("equivalence check passed for two different streams")
+	}
+}
+
+// TestOracleAcrossScaleMechanics replays the recorded stream under each
+// event calendar and under sharded lock/buffer tables. Unlike a policy
+// change, scale mechanics must not change ANY observable — so beyond the
+// oracle's logical-equivalence and conservation checks, the full Results
+// are asserted byte-identical to the default wiring's.
+func TestOracleAcrossScaleMechanics(t *testing.T) {
+	s := stream(t)
+	base := tinyOCBConfig()
+	baseRes, err := s.Replay(base)
+	if err != nil {
+		t.Fatalf("replaying baseline: %v", err)
+	}
+	variants := []struct {
+		name   string
+		mutate func(*engine.Config)
+	}{
+		{"sharded", func(c *engine.Config) { c.LockShards = 32; c.BufferShards = 16 }},
+	}
+	for _, kind := range sim.CalendarKinds() {
+		kind := kind
+		variants = append(variants, struct {
+			name   string
+			mutate func(*engine.Config)
+		}{"calendar-" + kind, func(c *engine.Config) { c.Calendar = kind }})
+	}
+	for _, v := range variants {
+		cfg := base
+		v.mutate(&cfg)
+		res, err := s.Replay(cfg)
+		if err != nil {
+			t.Errorf("%s: replay: %v", v.name, err)
+			continue
+		}
+		if err := CheckConservation(res); err != nil {
+			t.Errorf("%s: %v", v.name, err)
+		}
+		if err := CheckEquivalence(baseRes, res); err != nil {
+			t.Errorf("%s: %v", v.name, err)
+		}
+		res.Config = baseRes.Config // only the mechanics fields differ
+		if !reflect.DeepEqual(res, baseRes) {
+			t.Errorf("%s: results not byte-identical to default wiring:\n%v\n%v", v.name, res, baseRes)
+		}
 	}
 }

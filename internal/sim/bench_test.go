@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 )
@@ -21,6 +22,37 @@ func BenchmarkCalendar(b *testing.B) {
 	if b.N > 0 {
 		s.After(0.001, tick)
 		s.RunAll()
+	}
+}
+
+// BenchmarkCalendarScaling compares heap and timing-wheel cost as the
+// pending-event population grows: each in-flight "user" reschedules itself
+// with a spread of think times. The heap's per-op cost grows with log n;
+// the wheel's stays flat.
+func BenchmarkCalendarScaling(b *testing.B) {
+	for _, kind := range CalendarKinds() {
+		for _, users := range []int{32, 1024, 32768} {
+			b.Run(fmt.Sprintf("%s/%d", kind, users), func(b *testing.B) {
+				s, err := NewWithCalendar(1, kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				left := b.N
+				var tick func()
+				tick = func() {
+					if left > 0 {
+						left--
+						s.After(1+float64(left%1000)*0.013, tick)
+					}
+				}
+				for i := 0; i < users; i++ {
+					s.After(float64(i%1000)*0.011, tick)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				s.RunAll()
+			})
+		}
 	}
 }
 

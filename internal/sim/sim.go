@@ -98,11 +98,11 @@ func (h *eventHeap) pop() event {
 // concurrent use (the model is single-threaded by design so that runs are
 // deterministic — parallel experiments give each goroutine its own Sim).
 type Sim struct {
-	now    Time
-	events eventHeap
-	seq    uint64
-	seed   int64
-	nrun   uint64 // events executed
+	now  Time
+	cal  calendar
+	seq  uint64
+	seed int64
+	nrun uint64 // events executed
 
 	// streams memoizes named random streams so their draw counts can be
 	// checkpointed and replayed (see state.go). Each name maps to one
@@ -110,9 +110,22 @@ type Sim struct {
 	streams map[string]*stream
 }
 
-// New returns a simulator whose random streams derive from seed.
+// New returns a simulator whose random streams derive from seed, using the
+// default (binary heap) event calendar.
 func New(seed int64) *Sim {
-	return &Sim{seed: seed}
+	return &Sim{seed: seed, cal: &heapCalendar{}}
+}
+
+// NewWithCalendar returns a simulator using the named calendar
+// implementation (CalendarHeap or CalendarWheel; "" selects the default
+// heap). Every calendar dispatches in identical (time, seq) order, so the
+// choice changes performance characteristics only — never the schedule.
+func NewWithCalendar(seed int64, kind string) (*Sim, error) {
+	cal, err := newCalendar(kind)
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{seed: seed, cal: cal}, nil
 }
 
 // Now returns the current simulated time.
@@ -128,7 +141,7 @@ func (s *Sim) At(t Time, fn func()) {
 		panic("sim: scheduling event in the past")
 	}
 	s.seq++
-	s.events.push(event{t: t, seq: s.seq, fn: fn})
+	s.cal.push(event{t: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d seconds from now. Negative delays are clamped
@@ -144,8 +157,12 @@ func (s *Sim) After(d Time, fn func()) {
 // event is later than until. It returns the number of events executed.
 func (s *Sim) Run(until Time) int {
 	n := 0
-	for len(s.events) > 0 && s.events[0].t <= until {
-		e := s.events.pop()
+	for {
+		next, ok := s.cal.peek()
+		if !ok || next.t > until {
+			break
+		}
+		e := s.cal.pop()
 		s.now = e.t
 		e.fn()
 		n++
@@ -161,7 +178,7 @@ func (s *Sim) Run(until Time) int {
 func (s *Sim) RunAll() int { return s.Run(math.Inf(1)) }
 
 // Pending returns the number of scheduled events.
-func (s *Sim) Pending() int { return len(s.events) }
+func (s *Sim) Pending() int { return s.cal.len() }
 
 // Stream returns a deterministic random stream derived from the simulator
 // seed and the given name. Distinct names give independent streams, so the

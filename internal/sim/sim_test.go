@@ -262,7 +262,8 @@ func TestHeapCapacityReuse(t *testing.T) {
 		s.After(float64(i), func() {})
 	}
 	s.RunAll()
-	grown := cap(s.events)
+	h := s.cal.(*heapCalendar)
+	grown := cap(h.h)
 	if grown < 64 {
 		t.Fatalf("cap=%d after 64 events", grown)
 	}
@@ -270,8 +271,8 @@ func TestHeapCapacityReuse(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		s.After(float64(i), func() {})
 	}
-	if cap(s.events) != grown {
-		t.Fatalf("cap grew from %d to %d on reuse", grown, cap(s.events))
+	if cap(h.h) != grown {
+		t.Fatalf("cap grew from %d to %d on reuse", grown, cap(h.h))
 	}
 	s.RunAll()
 }
@@ -283,7 +284,8 @@ func TestHeapReleasesClosures(t *testing.T) {
 		s.After(float64(i), func() {})
 	}
 	s.RunAll()
-	for i, e := range s.events[:cap(s.events)] {
+	h := s.cal.(*heapCalendar).h
+	for i, e := range h[:cap(h)] {
 		if e.fn != nil {
 			t.Fatalf("slot %d still holds a closure after drain", i)
 		}

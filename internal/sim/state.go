@@ -88,10 +88,7 @@ func (s *Sim) Snapshot() State {
 // the bit-identical continuation of the original sequence. Streams the
 // snapshot does not mention are rewound to their start.
 func (s *Sim) Restore(st State) error {
-	for i := range s.events {
-		s.events[i] = event{}
-	}
-	s.events = s.events[:0]
+	s.cal.clear()
 	s.now = st.Now
 	s.seq = st.Seq
 	s.nrun = st.Executed
@@ -123,17 +120,17 @@ func (s *Sim) ScheduleRestored(t Time, seq uint64, fn func()) {
 	if seq > s.seq {
 		panic("sim: restoring event from the future (seq beyond counter)")
 	}
-	s.events.push(event{t: t, seq: seq, fn: fn})
+	s.cal.push(event{t: t, seq: seq, fn: fn})
 }
 
 // Step executes exactly one event, advancing the clock to it. It returns
 // false if the calendar is empty. Checkpointing runs use Step so they can
 // test for quiescence between events.
 func (s *Sim) Step() bool {
-	if len(s.events) == 0 {
+	if s.cal.len() == 0 {
 		return false
 	}
-	e := s.events.pop()
+	e := s.cal.pop()
 	s.now = e.t
 	e.fn()
 	s.nrun++

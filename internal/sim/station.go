@@ -18,7 +18,10 @@ type Station struct {
 
 	queue []stationReq
 
-	// Statistics.
+	// Statistics. Wait and service tallies are moments-only: only their
+	// means are ever reported, and retaining per-request samples would make
+	// station memory O(arrivals) — millions of entries at the large scale
+	// tier.
 	util     stats.TimeWeighted // busy servers over time
 	qlen     stats.TimeWeighted // waiting requests over time
 	wait     stats.Tally        // queueing delay per request
@@ -37,7 +40,11 @@ func NewStation(s *Sim, name string, servers int) *Station {
 	if servers < 1 {
 		servers = 1
 	}
-	st := &Station{sim: s, name: name, servers: servers}
+	st := &Station{
+		sim: s, name: name, servers: servers,
+		wait:    stats.NewMomentsTally(),
+		service: stats.NewMomentsTally(),
+	}
 	st.util.Set(0, s.Now())
 	st.qlen.Set(0, s.Now())
 	return st

@@ -1,0 +1,92 @@
+package stats
+
+import "math"
+
+// Stream is a streaming moment accumulator: Welford's online algorithm in
+// O(1) memory, numerically stable over long runs (unlike the naive
+// sum-of-squares, whose cancellation error grows with n·mean²). Streams
+// merge exactly — Chan et al.'s pairwise combination — so per-shard or
+// per-worker accumulators can be folded into one result. The zero value is
+// ready to use.
+type Stream struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one sample.
+func (s *Stream) Add(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// Merge folds o into s, as if every sample added to o had been added to s.
+func (s *Stream) Merge(o Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.mean += d * float64(o.n) / float64(n)
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.n = n
+}
+
+// N returns the number of samples recorded.
+func (s *Stream) N() int64 { return s.n }
+
+// Mean returns the sample mean, or 0 if no samples were recorded.
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance, or 0 for fewer than two samples.
+func (s *Stream) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest sample, or 0 if empty.
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest sample, or 0 if empty.
+func (s *Stream) Max() float64 { return s.max }
+
+// StreamState is the serializable state of a Stream.
+type StreamState struct {
+	N        int64
+	Mean, M2 float64
+	Min, Max float64
+}
+
+// Snapshot extracts the stream's complete state.
+func (s *Stream) Snapshot() StreamState {
+	return StreamState{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max}
+}
+
+// Restore overwrites the stream with a snapshot.
+func (s *Stream) Restore(st StreamState) error {
+	s.n, s.mean, s.m2, s.min, s.max = st.N, st.Mean, st.M2, st.Min, st.Max
+	return nil
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStreamMatchesTally(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var s Stream
+	ta := NewTally(0)
+	for i := 0; i < 10000; i++ {
+		x := rng.NormFloat64()*5 + 100
+		s.Add(x)
+		ta.Add(x)
+	}
+	if s.N() != int64(ta.N()) {
+		t.Fatalf("n %d != %d", s.N(), ta.N())
+	}
+	if math.Abs(s.Mean()-ta.Mean()) > 1e-9 {
+		t.Fatalf("mean %g != %g", s.Mean(), ta.Mean())
+	}
+	if math.Abs(s.Var()-ta.Var()) > 1e-6 {
+		t.Fatalf("var %g != %g", s.Var(), ta.Var())
+	}
+	if s.Min() != ta.Min() || s.Max() != ta.Max() {
+		t.Fatalf("min/max (%g,%g) != (%g,%g)", s.Min(), s.Max(), ta.Min(), ta.Max())
+	}
+}
+
+func TestStreamMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var whole Stream
+	parts := make([]Stream, 7)
+	for i := 0; i < 5000; i++ {
+		x := rng.ExpFloat64() * 30
+		whole.Add(x)
+		parts[i%len(parts)].Add(x)
+	}
+	var merged Stream
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("n %d != %d", merged.N(), whole.N())
+	}
+	if math.Abs(merged.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("mean %g != %g", merged.Mean(), whole.Mean())
+	}
+	if math.Abs(merged.Var()-whole.Var()) > 1e-6*whole.Var() {
+		t.Fatalf("var %g != %g", merged.Var(), whole.Var())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatal("min/max diverge after merge")
+	}
+	// Merging into an empty stream must copy, and merging empty is a no-op.
+	var empty Stream
+	empty.Merge(whole)
+	if empty != whole {
+		t.Fatal("merge into empty did not copy")
+	}
+	before := whole
+	whole.Merge(Stream{})
+	if whole != before {
+		t.Fatal("merging an empty stream changed state")
+	}
+}
+
+func TestStreamSnapshotRoundTrip(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{3, 1, 4, 1, 5, 9, 2, 6} {
+		s.Add(x)
+	}
+	var r Stream
+	if err := r.Restore(s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	s.Add(7)
+	r.Add(7)
+	if s != r {
+		t.Fatalf("diverged after restore: %+v vs %+v", s, r)
+	}
+}
+
+func TestMomentsTallyRetainsNothing(t *testing.T) {
+	mt := NewMomentsTally()
+	full := NewTally(0)
+	for i := 0; i < 1000; i++ {
+		x := float64(i%37) * 1.5
+		mt.Add(x)
+		full.Add(x)
+	}
+	if len(mt.keep) != 0 {
+		t.Fatalf("moments tally retained %d samples", len(mt.keep))
+	}
+	if mt.Mean() != full.Mean() || mt.Var() != full.Var() ||
+		mt.Min() != full.Min() || mt.Max() != full.Max() || mt.N() != full.N() {
+		t.Fatal("moments diverge from retain-all tally")
+	}
+	if mt.Percentile(95) != 0 {
+		t.Fatal("moments tally percentile should report 0")
+	}
+}
+
+func TestReservoirTallyBoundedAndUniform(t *testing.T) {
+	const k, n = 200, 100000
+	rt := NewReservoirTally(k, 11)
+	for i := 0; i < n; i++ {
+		rt.Add(float64(i))
+	}
+	if len(rt.keep) != k {
+		t.Fatalf("reservoir holds %d, want %d", len(rt.keep), k)
+	}
+	if rt.N() != n {
+		t.Fatalf("n=%d, want %d", rt.N(), n)
+	}
+	// Uniform retention: the reservoir median of 0..n-1 approximates n/2.
+	// With k=200 the standard error of the median is ~n/(2*sqrt(k)) ≈ 3.5%
+	// of n; a 15% tolerance keeps the test deterministic-seed-stable.
+	med := rt.Percentile(50)
+	if med < 0.35*n || med > 0.65*n {
+		t.Fatalf("reservoir median %g implausible for uniform 0..%d", med, n-1)
+	}
+	// Moments stay exact regardless of sampling.
+	if got, want := rt.Mean(), float64(n-1)/2; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("mean %g, want %g", got, want)
+	}
+}
+
+func TestReservoirTallyDeterministic(t *testing.T) {
+	a, b := NewReservoirTally(50, 99), NewReservoirTally(50, 99)
+	for i := 0; i < 10000; i++ {
+		a.Add(float64(i * 3 % 701))
+		b.Add(float64(i * 3 % 701))
+	}
+	for i := range a.keep {
+		if a.keep[i] != b.keep[i] {
+			t.Fatalf("same seed diverged at slot %d", i)
+		}
+	}
+	c := NewReservoirTally(50, 100)
+	for i := 0; i < 10000; i++ {
+		c.Add(float64(i * 3 % 701))
+	}
+	same := true
+	for i := range a.keep {
+		if a.keep[i] != c.keep[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical reservoirs")
+	}
+}
+
+func TestReservoirTallySnapshotRoundTrip(t *testing.T) {
+	rt := NewReservoirTally(20, 7)
+	for i := 0; i < 500; i++ {
+		rt.Add(float64(i))
+	}
+	var r Tally
+	if err := r.Restore(rt.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// The restored reservoir must continue the identical replacement
+	// sequence: same RNG position, same slots replaced.
+	for i := 500; i < 1000; i++ {
+		rt.Add(float64(i))
+		r.Add(float64(i))
+	}
+	for i := range rt.keep {
+		if rt.keep[i] != r.keep[i] {
+			t.Fatalf("restored reservoir diverged at slot %d", i)
+		}
+	}
+}

@@ -1,21 +1,30 @@
 #!/bin/sh
 # Benchmark harness: runs the hot-path micro-benchmarks (core placement and
-# split machinery, buffer pool and replacement policies, storage lookup)
-# with -benchmem and writes the parsed results — ns/op, B/op, allocs/op per
-# benchmark — to BENCH_4.json (or the path given as $1). Compare two reports
-# with: go run ./scripts/benchcmp OLD.json NEW.json
+# split machinery, buffer pool and replacement policies, storage lookup) and
+# the macro simulation-throughput benchmark (whole transactions per second,
+# per scale tier) with -benchmem, and writes the parsed results — ns/op,
+# B/op, allocs/op, and events/sec per benchmark — to BENCH_6.json (or the
+# path given as $1). Compare two reports with:
+#   go run ./scripts/benchcmp OLD.json NEW.json
+# or gate on >10% ns/op regressions with:
+#   go run ./scripts/benchcmp -gate OLD.json NEW.json
 #
 # Usage: ./scripts/bench.sh [-f] [output.json]
 #   -f       overwrite the output file if it already exists
 #   BENCHTIME=100ms ./scripts/bench.sh   # quicker, noisier numbers
+#   BENCH_SUITE=macro ./scripts/bench.sh # only the simulation-throughput macro
+#   BENCH_SUITE=micro ./scripts/bench.sh # only the micro-benchmarks
+#   OODB_BENCH_LARGE=1 ./scripts/bench.sh   # include the 100k-user tier
 set -eu
+
+suite="${BENCH_SUITE:-all}"
 
 force=0
 if [ "${1:-}" = "-f" ]; then
     force=1
     shift
 fi
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_6.json}"
 if [ -e "$out" ] && [ "$force" -eq 0 ]; then
     echo "bench.sh: $out already exists; pass -f to overwrite" >&2
     exit 1
@@ -26,12 +35,27 @@ trap 'rm -f "$tmp" "$rc"' EXIT
 
 # POSIX sh reports a pipeline's status from its last command, so tee would
 # mask a bench failure; capture go test's own status through a side file.
-{ go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-1s}" \
-    ./internal/core/ ./internal/buffer/ ./internal/storage/; echo "$?" > "$rc"; } | tee "$tmp"
-status="$(cat "$rc")"
-if [ "$status" -ne 0 ]; then
-    echo "bench.sh: go test -bench failed (exit $status)" >&2
-    exit "$status"
+: > "$tmp"
+if [ "$suite" != "macro" ]; then
+    { go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-1s}" \
+        ./internal/core/ ./internal/buffer/ ./internal/storage/; echo "$?" > "$rc"; } | tee -a "$tmp"
+    status="$(cat "$rc")"
+    if [ "$status" -ne 0 ]; then
+        echo "bench.sh: go test -bench failed (exit $status)" >&2
+        exit "$status"
+    fi
+fi
+
+# Macro throughput: simulated transactions and kernel events per wall-clock
+# second, per scale tier (the large tier joins when OODB_BENCH_LARGE is set).
+if [ "$suite" != "micro" ]; then
+    { go test -run '^$' -bench SimThroughput -benchtime "${BENCHTIME:-1s}" \
+        ./internal/engine/; echo "$?" > "$rc"; } | tee -a "$tmp"
+    status="$(cat "$rc")"
+    if [ "$status" -ne 0 ]; then
+        echo "bench.sh: macro benchmark failed (exit $status)" >&2
+        exit "$status"
+    fi
 fi
 
 awk '
@@ -39,17 +63,18 @@ BEGIN { print "["; first = 1 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = ""; bop = "0"; aop = "0"
+    ns = ""; bop = "0"; aop = "0"; eps = "0"
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i - 1)
         if ($i == "B/op") bop = $(i - 1)
         if ($i == "allocs/op") aop = $(i - 1)
+        if ($i == "events/sec") eps = $(i - 1)
     }
     if (ns == "") next
     if (!first) printf(",\n")
     first = 0
-    printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-           name, ns, bop, aop)
+    printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"events_per_sec\": %s}", \
+           name, ns, bop, aop, eps)
 }
 END { print "\n]" }
 ' "$tmp" > "$out"

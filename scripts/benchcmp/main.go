@@ -1,27 +1,37 @@
 // Command benchcmp renders a benchstat-style comparison of two bench.sh
-// JSON reports (ns/op, B/op, allocs/op per benchmark), so CI logs show how
-// the current tree's hot paths moved against the checked-in baseline
-// without needing network access for external tooling.
+// JSON reports (ns/op, B/op, allocs/op, events/sec per benchmark), so CI
+// logs show how the current tree's hot paths moved against the checked-in
+// baseline without needing network access for external tooling.
 //
-// Usage: go run ./scripts/benchcmp OLD.json NEW.json
+// Usage: go run ./scripts/benchcmp [-gate] OLD.json NEW.json
 //
-// Exit status is always 0 on a successful comparison: single-run CI numbers
-// are too noisy to gate on; the allocs/op regressions that matter are
-// enforced by AllocsPerRun tests instead.
+// Without -gate, exit status is always 0 on a successful comparison:
+// single-run CI numbers are too noisy to gate on; the allocs/op regressions
+// that matter are enforced by AllocsPerRun tests instead. With -gate, the
+// comparison fails (exit 1) if any benchmark present in both reports
+// regressed more than 10% — ns/op up, or events/sec down. The gate is meant
+// for two reports measured on the same machine (e.g. the checked-in
+// baselines BENCH_5.json and BENCH_6.json), where a 10% move is signal, not
+// runner noise.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 )
+
+// gateThreshold is the fractional regression the -gate mode tolerates.
+const gateThreshold = 0.10
 
 type row struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	EventsPerS  float64 `json:"events_per_sec"`
 }
 
 func load(path string) (map[string]row, error) {
@@ -51,16 +61,18 @@ func delta(old, new float64) string {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp OLD.json NEW.json")
+	gate := flag.Bool("gate", false, "exit non-zero if any shared benchmark regressed >10% (ns/op up or events/sec down)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-gate] OLD.json NEW.json")
 		os.Exit(2)
 	}
-	oldRows, err := load(os.Args[1])
+	oldRows, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
 	}
-	newRows, err := load(os.Args[2])
+	newRows, err := load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
@@ -72,6 +84,7 @@ func main() {
 	}
 	sort.Strings(names)
 
+	var regressions []string
 	fmt.Printf("%-44s %12s %12s %8s %10s %10s %8s\n",
 		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
 	for _, name := range names {
@@ -85,10 +98,23 @@ func main() {
 		fmt.Printf("%-44s %12.1f %12.1f %8s %10.0f %10.0f %8s\n",
 			name, o.NsPerOp, n.NsPerOp, delta(o.NsPerOp, n.NsPerOp),
 			o.AllocsPerOp, n.AllocsPerOp, delta(o.AllocsPerOp, n.AllocsPerOp))
+		if o.NsPerOp > 0 && (n.NsPerOp-o.NsPerOp)/o.NsPerOp > gateThreshold {
+			regressions = append(regressions, fmt.Sprintf("%s: ns/op %s", name, delta(o.NsPerOp, n.NsPerOp)))
+		}
+		if o.EventsPerS > 0 && n.EventsPerS > 0 && (o.EventsPerS-n.EventsPerS)/o.EventsPerS > gateThreshold {
+			regressions = append(regressions, fmt.Sprintf("%s: events/sec %s", name, delta(o.EventsPerS, n.EventsPerS)))
+		}
 	}
 	for name := range oldRows {
 		if _, ok := newRows[name]; !ok {
 			fmt.Printf("%-44s (removed)\n", name)
 		}
+	}
+	if *gate && len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d regression(s) beyond %.0f%%:\n", len(regressions), gateThreshold*100)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
 	}
 }

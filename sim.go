@@ -26,6 +26,19 @@ type (
 // (1.0 = the full 500 MB database with 1000 buffer frames).
 func DefaultSimConfig(scale float64) SimConfig { return engine.DefaultConfig(scale) }
 
+// TierSimConfig returns the named scale tier's configuration ("default",
+// "medium", "large"; "" selects default). Tiers bundle sizing and scale
+// mechanics — see engine.TierConfig.
+func TierSimConfig(name string) (SimConfig, error) { return engine.TierConfig(name) }
+
+// ScaleTiers lists the scale tier names in size order.
+func ScaleTiers() []string { return engine.TierNames() }
+
+// TierCheckpointable reports whether the named tier supports
+// checkpoint/restore (the large tier does not: at 100k users quiescent
+// instants are effectively never reached).
+func TierCheckpointable(name string) bool { return engine.TierCheckpointable(name) }
+
 // RunSimulation executes one simulation run.
 func RunSimulation(cfg SimConfig) (SimResults, error) {
 	e, err := engine.New(cfg)
