@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"oodb"
 )
@@ -41,6 +43,10 @@ func main() {
 
 		tier     = flag.String("tier", "", "single run: scale tier (default | medium | large) — sets sizing, workload, and scale mechanics; explicit flags still override")
 		calendar = flag.String("calendar", "", "event-calendar implementation: heap (reference, default) | wheel (flat cost at large event counts)")
+		lockSh   = flag.Int("lock-shards", 0, "lock-table shard count, rounded up to a power of two (0 = single shard; never changes simulated behavior)")
+		bufSh    = flag.Int("buffer-shards", 0, "buffer-pool shard count, rounded up to a power of two (0 = single shard; never changes simulated behavior)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the invocation to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 
 		wl       = flag.String("workload", "oct", "workload: oct (the paper's model) | ocb (synthetic object-base benchmark)")
 		ocbDist  = flag.String("ocb-dist", "zipf", "ocb workload: reference distribution (uniform | zipf | clustered)")
@@ -68,6 +74,37 @@ func main() {
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		atExit = append(atExit, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+		defer flushAtExit()
+	}
+	if *memProf != "" {
+		path := *memProf
+		atExit = append(atExit, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "oodbsim:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "oodbsim:", err)
+			}
+			f.Close()
+		})
+		defer flushAtExit()
+	}
+
 	if *list {
 		for _, id := range oodb.Experiments() {
 			fmt.Println(id)
@@ -90,6 +127,7 @@ func main() {
 		s := singleRun{
 			scale: *scale, txns: *txns, seed: *seed, set: set,
 			tier: *tier, calendar: *calendar,
+			lockShards: *lockSh, bufferShards: *bufSh,
 			density: *density, rw: *rw, cluster: *cluster, repl: *repl,
 			prefetch: *prefetch, strategy: *strategy, observe: *observe,
 			checkpoint: *ckptFile, checkpointAt: *ckptAt, resume: *resume,
@@ -157,9 +195,11 @@ type singleRun struct {
 	ocbDepth int
 	ocbScan  int
 
-	tier     string
-	calendar string
-	set      map[string]bool // flags the user passed explicitly
+	tier         string
+	calendar     string
+	lockShards   int
+	bufferShards int
+	set          map[string]bool // flags the user passed explicitly
 }
 
 func (s singleRun) config() (oodb.SimConfig, error) {
@@ -179,6 +219,12 @@ func (s singleRun) config() (oodb.SimConfig, error) {
 		}
 		if s.calendar != "" {
 			cfg.Calendar = s.calendar
+		}
+		if s.set["lock-shards"] {
+			cfg.LockShards = s.lockShards
+		}
+		if s.set["buffer-shards"] {
+			cfg.BufferShards = s.bufferShards
 		}
 		// Policy flags are orthogonal to tier sizing and still apply;
 		// workload-shape flags are not — the tier defines the workload.
@@ -220,6 +266,8 @@ func (s singleRun) config() (oodb.SimConfig, error) {
 	if s.calendar != "" {
 		cfg.Calendar = s.calendar
 	}
+	cfg.LockShards = s.lockShards
+	cfg.BufferShards = s.bufferShards
 	if cfg.Density, err = oodb.ParseDensity(s.density); err != nil {
 		return cfg, err
 	}
@@ -344,7 +392,21 @@ func (s singleRun) run() error {
 	return nil
 }
 
+// atExit holds cleanup hooks (profile flushes) that must run when main
+// returns. Both profile flags defer flushAtExit, so it drains the list
+// exactly once.
+var atExit []func()
+
+func flushAtExit() {
+	hooks := atExit
+	atExit = nil
+	for _, f := range hooks {
+		f()
+	}
+}
+
 func fatal(err error) {
+	flushAtExit()
 	fmt.Fprintln(os.Stderr, "oodbsim:", err)
 	os.Exit(1)
 }

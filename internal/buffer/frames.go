@@ -1,0 +1,32 @@
+package buffer
+
+import "oodb/internal/storage"
+
+// Frames is the buffer-pool seam the access layer and the policy machinery
+// above it (cluster, prefetch) program against: residency, dirty tracking,
+// and priority boosts, without committing to how the frame table is
+// organized or synchronized.
+//
+// Two implementations exist. Pool is the deterministic single-threaded pool
+// the simulator uses: one global replacement policy, victim order exactly
+// reproducible, byte-identical figures. ConcurrentPool is the goroutine-safe
+// pool the concurrent multi-session engine uses: frames shard by page-ID
+// hash, each shard owns its own policy instance and victim selection, and
+// sessions on different shards never contend.
+type Frames interface {
+	// Access brings pg into the pool (if needed) and touches it.
+	Access(pg storage.PageID) (AccessResult, error)
+	// Install makes pg resident without a physical read (fresh pages).
+	Install(pg storage.PageID) (AccessResult, error)
+	// Contains reports whether pg is resident.
+	Contains(pg storage.PageID) bool
+	// MarkDirty flags a resident page as modified.
+	MarkDirty(pg storage.PageID) error
+	// Boost raises pg's replacement priority if it is resident.
+	Boost(pg storage.PageID)
+}
+
+var (
+	_ Frames = (*Pool)(nil)
+	_ Frames = (*ConcurrentPool)(nil)
+)

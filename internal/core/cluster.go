@@ -53,7 +53,7 @@ type Placement struct {
 type Clusterer struct {
 	Graph *model.Graph
 	Store storage.Backend
-	Pool  *buffer.Pool
+	Pool  buffer.Frames
 
 	Policy ClusterPolicy
 	Split  SplitPolicy
@@ -117,7 +117,7 @@ func (c *Clusterer) dirty2(a, b storage.PageID) []storage.PageID {
 }
 
 // NewClusterer returns a clusterer with the experiment defaults.
-func NewClusterer(g *model.Graph, st storage.Backend, pool *buffer.Pool) *Clusterer {
+func NewClusterer(g *model.Graph, st storage.Backend, pool buffer.Frames) *Clusterer {
 	return &Clusterer{
 		Graph: g, Store: st, Pool: pool,
 		Policy:        PolicyNoCluster,

@@ -20,7 +20,7 @@ type PrefetchStats struct {
 type Prefetcher struct {
 	Graph *model.Graph
 	Store storage.Backend
-	Pool  *buffer.Pool
+	Pool  buffer.Frames
 
 	Policy PrefetchPolicy
 	Hints  HintPolicy

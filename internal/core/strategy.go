@@ -70,7 +70,7 @@ var (
 type ClusterSeam struct {
 	Graph *model.Graph
 	Store storage.Backend
-	Pool  *buffer.Pool
+	Pool  buffer.Frames
 
 	Policy ClusterPolicy
 	Split  SplitPolicy
@@ -166,7 +166,7 @@ func ClusterStrategyNames() []string {
 type NoopClusterer struct {
 	Graph *model.Graph
 	Store storage.Backend
-	Pool  *buffer.Pool
+	Pool  buffer.Frames
 
 	// AttrCost drives the copy-vs-reference decision for inherited
 	// attributes; even a placement-blind store must decide representations.
@@ -181,7 +181,7 @@ type NoopClusterer struct {
 }
 
 // NewNoopClusterer returns a no-op strategy over the given layers.
-func NewNoopClusterer(g *model.Graph, st storage.Backend, pool *buffer.Pool) *NoopClusterer {
+func NewNoopClusterer(g *model.Graph, st storage.Backend, pool buffer.Frames) *NoopClusterer {
 	return &NoopClusterer{Graph: g, Store: st, Pool: pool, AttrCost: DefaultAttrCostModel}
 }
 

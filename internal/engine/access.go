@@ -39,7 +39,7 @@ type AccessLayer interface {
 type stack struct {
 	graph *model.Graph
 	store storage.Backend
-	pool  *buffer.Pool
+	pool  buffer.Frames
 	clust core.ClusterStrategy
 	pf    core.PrefetchStrategy
 	log   *txlog.Manager

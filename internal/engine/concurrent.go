@@ -1,0 +1,612 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oodb/internal/buffer"
+	"oodb/internal/core"
+	"oodb/internal/lock"
+	"oodb/internal/model"
+	"oodb/internal/ocb"
+	"oodb/internal/sim"
+	"oodb/internal/stats"
+	"oodb/internal/storage"
+	"oodb/internal/txlog"
+	"oodb/internal/workload"
+)
+
+// Concurrent is the real-time counterpart of Engine: N session goroutines
+// drive the same functional storage stack — one shared graph, storage
+// backend, buffer pool, lock table, and log — under actual parallel load,
+// measuring wall-clock latency instead of simulated response time.
+//
+// Where Engine interleaves transactions on a discrete-event calendar (every
+// run byte-identical), Concurrent interleaves them on the Go scheduler, so
+// throughput and tail latency come from real contention on the sharded
+// structures PR 6 built: the Fibonacci-hashed lock table and the per-shard
+// buffer pool. The logical results stay checkable: the access layer's
+// digest folds per session and combines order-independently, and a
+// one-session run draws the identical transaction stream as the serial
+// engine (same seed-derived "workload" stream, same session-length
+// bookkeeping), so serial digest == 1-session concurrent digest is an
+// oracle invariant the tests assert.
+//
+// Synchronization is two-level, and provably deadlock-free:
+//
+//  1. Object locks first. Each transaction acquires its lock set in
+//     ascending object-ID order through lock.Manager.AcquireWait, holding
+//     no other lock — so lock waits cannot cycle (global order) and cannot
+//     entangle with level 2 (nothing else is held while parked).
+//  2. A structure guard second. Reads take mu.RLock and run concurrently
+//     — readObject and the traversals only read the graph and storage
+//     mapping, and the ConcurrentPool is internally synchronized. Writes
+//     take mu.Lock: placement, page splits, graph surgery, and the log are
+//     the simulator's single-threaded structures, serialized here. The
+//     guard is never held while waiting on an object lock, so the writer
+//     cannot be starved into a cycle.
+//
+// The per-layer obs.Recorder is not goroutine-safe and is ignored; the
+// pool, lock, cluster, and log statistics (internally consistent or
+// merged) carry the run's accounting instead.
+type Concurrent struct {
+	cfg Config
+	opt ConcurrentOptions
+
+	graph   *model.Graph
+	store   storage.Backend
+	pool    *buffer.ConcurrentPool
+	clust   core.ClusterStrategy
+	log     *txlog.Manager
+	locks   *lock.Manager // nil when cfg.Locking is false
+	db      *workload.Database
+	ocbBase *ocb.Base
+
+	// mu is the structure guard: shared by readers (concurrent logical
+	// reads), exclusive for writers (graph/storage/cluster/log mutation).
+	mu sync.RWMutex
+
+	sessions []*csession
+
+	txnSeq    atomic.Int64 // lock-manager transaction IDs
+	completed atomic.Int64 // transactions finished (warmup accounting)
+
+	ran bool
+}
+
+// ConcurrentOptions shapes the load the session goroutines generate.
+type ConcurrentOptions struct {
+	// Sessions is the number of concurrent client sessions (goroutines).
+	Sessions int
+
+	// ThinkTime, when positive, runs the sessions closed-loop: each session
+	// sleeps an exponentially distributed think time (this mean) between
+	// its transactions, the paper's interactive-workstation model in wall
+	// time. Zero with zero ArrivalRate means saturation: every session
+	// submits back-to-back.
+	ThinkTime time.Duration
+
+	// ArrivalRate, when positive, runs the sessions open-loop at this many
+	// transactions per second in aggregate: each session schedules intended
+	// arrival instants (exponential gaps) and latency is measured from the
+	// intended arrival, not the actual submit — a late-running system
+	// accrues the queueing delay in its own tail instead of silently
+	// suppressing arrivals (coordinated omission). Overrides ThinkTime.
+	ArrivalRate float64
+}
+
+// Validate reports option errors.
+func (o ConcurrentOptions) Validate() error {
+	switch {
+	case o.Sessions <= 0:
+		return fmt.Errorf("engine: Sessions must be positive")
+	case o.ThinkTime < 0:
+		return fmt.Errorf("engine: ThinkTime must be non-negative")
+	case o.ArrivalRate < 0:
+		return fmt.Errorf("engine: ArrivalRate must be non-negative")
+	}
+	return nil
+}
+
+// csession is one client session: its own generator stream, access-layer
+// stack (scratch, digest), prefetcher, think RNG, and statistics — nothing
+// here is shared, so the goroutine touches shared state only through the
+// pool, lock table, and the structure guard.
+type csession struct {
+	id    int
+	stack *stack
+	think *rand.Rand
+
+	remaining int // transactions left in the current session burst
+
+	hist stats.Hist   // latency in microseconds
+	resp stats.Stream // latency in seconds
+
+	completed int
+	logical   int
+	notFound  int
+	physReads int
+	physWrite int
+	logIOs    int
+	bgIOs     int
+	kind      [workload.NumQueryKinds]int
+
+	err error
+}
+
+// NewConcurrent builds the shared stack and the session set. Construction
+// is deliberately identical to New: same workload generation, same
+// seed-derived streams, same clustering replay of the creation order, same
+// statistics reset — the measured run starts on the database the policy
+// would have built, exactly as the simulator's does.
+func NewConcurrent(cfg Config, opt ConcurrentOptions) (*Concurrent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	switch {
+	case cfg.Record != nil || cfg.Replay != nil:
+		return nil, fmt.Errorf("engine: trace record/replay is serial-only (the concurrent schedule is not reproducible)")
+	case cfg.Trace != nil:
+		return nil, fmt.Errorf("engine: the CSV trace sink is serial-only")
+	}
+	// The obs seam is single-threaded by design (zero-allocation counters,
+	// no atomics); drop it rather than race on it.
+	cfg.Recorder = nil
+
+	// Auto-size the sharded structures to the machine when the caller
+	// didn't choose: the next power of two >= GOMAXPROCS spreads P
+	// simultaneously running sessions over at least P shards.
+	if cfg.LockShards == 0 {
+		cfg.LockShards = ceilPow2(runtime.GOMAXPROCS(0))
+	}
+	if cfg.BufferShards == 0 {
+		cfg.BufferShards = ceilPow2(runtime.GOMAXPROCS(0))
+	}
+	bufShards := ceilPow2(cfg.BufferShards)
+	for bufShards > 1 && bufShards > cfg.Buffers {
+		bufShards /= 2 // every shard must own at least one frame
+	}
+	cfg.BufferShards = bufShards
+	cfg.LockShards = ceilPow2(cfg.LockShards)
+
+	s, err := sim.NewWithCalendar(cfg.Seed, cfg.Calendar)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		db    *workload.Database
+		base  *ocb.Base
+		graph *model.Graph
+		store *storage.Manager
+	)
+	if cfg.Workload == WorkloadOCB {
+		b, err := ocb.Generate(cfg.OCB, cfg.DBBytes, cfg.PageSize, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("engine: generating OCB object base: %w", err)
+		}
+		base, graph, store = b, b.Graph, b.Store
+	} else {
+		spec := workload.DefaultDBSpec(cfg.Density, cfg.DBBytes)
+		spec.Seed = cfg.Seed
+		d, err := workload.Generate(spec, cfg.PageSize)
+		if err != nil {
+			return nil, fmt.Errorf("engine: generating database: %w", err)
+		}
+		db, graph, store = d, d.Graph, d.Store
+	}
+
+	replName := cfg.ReplacementName
+	if replName == "" {
+		switch cfg.Replacement {
+		case core.ReplLRU:
+			replName = "lru"
+		case core.ReplRandom:
+			replName = "random"
+		case core.ReplContext:
+			replName = "context-sensitive"
+		default:
+			return nil, fmt.Errorf("engine: unknown replacement policy %v", cfg.Replacement)
+		}
+	}
+	// One policy instance per pool shard, each sized to its shard's frame
+	// quota with its own RNG stream — victim selection runs under the shard
+	// lock, so per-shard state needs no further synchronization.
+	policies := make([]buffer.Policy, bufShards)
+	for i := range policies {
+		stream := s.Stream(fmt.Sprintf("random-replacement-%d", i))
+		policies[i], err = buffer.NewPolicyByName(replName, buffer.PolicyConfig{
+			Frames: buffer.ShardCapacity(cfg.Buffers, bufShards, i),
+			RNG:    func() *rand.Rand { return stream },
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	pool, err := buffer.NewConcurrentPool(cfg.Buffers, policies)
+	if err != nil {
+		return nil, err
+	}
+
+	stratName := cfg.ClusterStrategy
+	if stratName == "" {
+		stratName = "affinity"
+	}
+	clust, err := core.NewClusterStrategy(stratName, core.ClusterSeam{
+		Graph: graph, Store: store, Pool: pool,
+		Policy: cfg.Cluster, Split: cfg.Split,
+		Hints: cfg.Hints, Hint: cfg.HintKind,
+		PageSize:            cfg.PageSize,
+		NoSiblingCandidates: cfg.NoSiblingCandidates,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	log := txlog.NewManager(cfg.LogBufBytes)
+
+	c := &Concurrent{
+		cfg: cfg, opt: opt,
+		graph: graph, store: store, pool: pool, clust: clust, log: log,
+		db: db, ocbBase: base,
+	}
+	if cfg.Locking {
+		c.locks = lock.NewManagerSharded(cfg.LockShards)
+	}
+
+	_, boostContext := policies[0].(*core.ContextPolicy)
+	ocbDepth := 0
+	if base != nil {
+		ocbDepth = cfg.OCB.WithDefaults().Depth
+	}
+	c.sessions = make([]*csession, opt.Sessions)
+	for i := range c.sessions {
+		// Session 0 draws the serial engine's own "workload" stream: a
+		// one-session run replays the identical transaction sequence, the
+		// digest-equality oracle the tests pin. Extra sessions get their
+		// own derived streams.
+		wrkName := "workload"
+		if i > 0 {
+			wrkName = fmt.Sprintf("workload-%d", i)
+		}
+		wrk := s.Stream(wrkName)
+		var gen workload.Source
+		if base != nil {
+			gen = ocb.NewGenerator(base, cfg.OCB, wrk)
+		} else {
+			gen = workload.NewGenerator(db, workload.DefaultParams(cfg.Density, cfg.ReadWriteRatio), wrk)
+		}
+		// Per-session prefetcher: it keeps scratch buffers and counters.
+		pf := &core.Prefetcher{
+			Graph: graph, Store: store, Pool: pool,
+			Policy: cfg.Prefetch, Hints: cfg.Hints, Hint: cfg.HintKind,
+		}
+		c.sessions[i] = &csession{
+			id:    i,
+			think: s.Stream(fmt.Sprintf("think-%d", i)),
+			stack: &stack{
+				graph: graph, store: store, pool: pool,
+				clust: clust, pf: pf, log: log, gen: gen,
+				boostContext: boostContext,
+				boostLimit:   cfg.ContextBoostLimit,
+				ocbDepth:     ocbDepth,
+				digest:       digestOffset,
+				// Distinct name spaces for created objects across sessions.
+				nameSeq: i << 32,
+			},
+		}
+	}
+
+	// Construct the physical database exactly as the serial engine does —
+	// single-threaded, untimed, statistics reset afterwards.
+	var order []model.ObjectID
+	if base != nil {
+		order = base.Order
+	} else {
+		order = db.ConstructionOrder(s.Stream("construction"), 4)
+	}
+	for _, id := range order {
+		o := graph.Object(id)
+		if o == nil {
+			return nil, fmt.Errorf("engine: construction order references unknown object %d", id)
+		}
+		if _, err := clust.PlaceNew(o); err != nil {
+			return nil, fmt.Errorf("engine: constructing database: placing %d: %w", id, err)
+		}
+	}
+	if store.NumPlaced() != graph.NumObjects() {
+		return nil, fmt.Errorf("engine: construction placed %d of %d objects",
+			store.NumPlaced(), graph.NumObjects())
+	}
+	pool.ResetStats()
+	clust.ResetStats()
+	log.ResetStats()
+	return c, nil
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Run drives the configured transaction count through the session
+// goroutines and returns the merged results. Run is one-shot.
+func (c *Concurrent) Run() (ConcurrentResults, error) {
+	if c.ran {
+		return ConcurrentResults{}, fmt.Errorf("engine: Concurrent.Run is one-shot")
+	}
+	c.ran = true
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, cs := range c.sessions {
+		wg.Add(1)
+		go func(cs *csession) {
+			defer wg.Done()
+			c.runSession(cs, start)
+		}(cs)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := ConcurrentResults{
+		Config:       c.cfg,
+		Sessions:     c.opt.Sessions,
+		Elapsed:      elapsed,
+		Pool:         c.pool.Stats(),
+		PoolResident: c.pool.Resident(),
+		PoolCapacity: c.pool.Capacity(),
+		HitRatio:     c.pool.Stats().HitRatio(),
+		KindCount:    make(map[string]int),
+	}
+	if c.locks != nil {
+		r.Locks = c.locks.Stats()
+		r.LocksHeld = c.locks.Locked()
+	}
+	for _, cs := range c.sessions {
+		if cs.err != nil {
+			return ConcurrentResults{}, cs.err
+		}
+		// XOR combines the per-session digests order-independently: with
+		// one session this is that session's digest, directly comparable to
+		// the serial run's.
+		r.LogicalDigest ^= cs.stack.digest
+		r.Completed += cs.completed
+		r.LogicalOps += cs.logical
+		r.NotFoundReads += cs.notFound
+		r.PhysReads += cs.physReads
+		r.PhysWrites += cs.physWrite
+		r.LogIOs += cs.logIOs
+		r.BackgroundIOs += cs.bgIOs
+		r.Latency.Merge(&cs.hist)
+		r.Resp.Merge(cs.resp)
+		for k := workload.QueryKind(0); k < workload.NumQueryKinds; k++ {
+			if cs.kind[k] > 0 {
+				r.KindCount[k.String()] += cs.kind[k]
+			}
+		}
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		r.Throughput = float64(r.Completed) / sec
+	}
+	return r, nil
+}
+
+// quota returns session i's share of the issue budget: the total
+// transaction count splits evenly, remainder to the low sessions. A fixed
+// per-session split (rather than sessions racing a shared counter) keeps
+// each session's transaction stream a pure function of the seed, so the
+// combined digest of a read-only run is reproducible at any session count
+// — the concurrent engine's own differential-oracle invariant.
+func (c *Concurrent) quota(i int) int64 {
+	total := c.cfg.Transactions + c.cfg.Warmup
+	n := c.opt.Sessions
+	q := total / n
+	if i < total%n {
+		q++
+	}
+	return int64(q)
+}
+
+// runSession is one client goroutine's think/submit loop. The bookkeeping
+// order — draw a session length when the burst is exhausted, check the
+// issue budget, then draw the transaction — mirrors the serial engine's
+// wakeUser exactly, so a one-session run consumes its RNG stream in the
+// identical order.
+func (c *Concurrent) runSession(cs *csession, start time.Time) {
+	limit := c.quota(cs.id)
+	warmup := int64(c.cfg.Warmup)
+
+	// Open-loop pacing: this session carries 1/Sessions of the aggregate
+	// arrival rate; intended arrival instants accumulate independent of
+	// how long transactions actually take.
+	openLoop := c.opt.ArrivalRate > 0
+	var meanGap float64 // seconds
+	if openLoop {
+		meanGap = float64(c.opt.Sessions) / c.opt.ArrivalRate
+	}
+	intended := time.Duration(0) // offset from start
+
+	for issued := int64(0); ; {
+		if cs.remaining == 0 {
+			cs.remaining = cs.stack.gen.SessionLength()
+		}
+		if issued++; issued > limit {
+			return
+		}
+		cs.remaining--
+
+		var t0 time.Time
+		switch {
+		case openLoop:
+			intended += time.Duration(sim.Exp(cs.think, meanGap) * float64(time.Second))
+			t0 = start.Add(intended)
+			if d := time.Until(t0); d > 0 {
+				time.Sleep(d)
+			}
+			// A late start charges the backlog to this transaction's
+			// latency — no coordinated omission.
+		case c.opt.ThinkTime > 0:
+			think := time.Duration(sim.Exp(cs.think, c.opt.ThinkTime.Seconds()) * float64(time.Second))
+			time.Sleep(think)
+			t0 = time.Now()
+		default:
+			t0 = time.Now()
+		}
+
+		txn := int(c.txnSeq.Add(1)) - 1
+		if err := c.execute(cs, txn); err != nil {
+			cs.err = err
+			return
+		}
+
+		if c.completed.Add(1) > warmup {
+			lat := time.Since(t0)
+			cs.hist.Record(lat.Microseconds())
+			cs.resp.Add(lat.Seconds())
+		}
+	}
+}
+
+// execute runs one transaction end to end: draw, lock, execute, release.
+func (c *Concurrent) execute(cs *csession, txn int) error {
+	// Drawing the request reads the target indexes (which writers append
+	// to via NoteCreated) and the graph, so it happens under the read
+	// guard. The OCB base is immutable at run time, but the uniform rule
+	// costs nothing and leaves nothing to re-derive.
+	c.mu.RLock()
+	req := cs.stack.gen.Next()
+	c.mu.RUnlock()
+
+	// Level 1: object locks, ascending object-ID order, nothing else held.
+	if c.locks != nil {
+		for _, lr := range lockSet(req) {
+			if err := c.locks.AcquireWait(txn, lr.obj, lr.mode); err != nil {
+				return err
+			}
+		}
+		defer c.locks.ReleaseAll(txn)
+	}
+
+	// Level 2: the structure guard. A target deleted between draw and
+	// execute surfaces as a not-found read, the same benign reordering a
+	// serial lock wait produces.
+	var (
+		res AccessResult
+		err error
+	)
+	if req.Kind.IsWrite() {
+		c.mu.Lock()
+		err = c.log.Begin(txn)
+		if err == nil {
+			res, err = cs.stack.Execute(txn, req)
+			if err2 := c.log.End(txn); err == nil {
+				err = err2
+			}
+		}
+		c.mu.Unlock()
+	} else {
+		// Reads never touch the log (before-images are write-only), so the
+		// Begin/End bracket — a mutation of the shared open-set — is
+		// skipped rather than promoted to an exclusive section.
+		c.mu.RLock()
+		res, err = cs.stack.Execute(txn, req)
+		c.mu.RUnlock()
+	}
+	if err != nil {
+		return err
+	}
+
+	cs.completed++
+	cs.logical += res.Logical
+	cs.notFound += res.NotFound
+	cs.bgIOs += len(res.Background)
+	cs.kind[req.Kind]++
+	for _, io := range res.IOs {
+		switch {
+		case io.Log:
+			cs.logIOs++
+		case io.Kind == core.ReadIO:
+			cs.physReads++
+		default:
+			cs.physWrite++
+		}
+	}
+	return nil
+}
+
+// ConcurrentResults summarizes one concurrent run: the same logical
+// observables the serial Results carries (digest, operation counts, pool
+// and lock statistics) plus wall-clock latency distribution and throughput.
+type ConcurrentResults struct {
+	Config   Config
+	Sessions int
+
+	// Wall-clock measurements.
+	Elapsed    time.Duration
+	Throughput float64      // completed transactions per second
+	Latency    stats.Hist   // per-transaction latency, microseconds
+	Resp       stats.Stream // per-transaction latency, seconds
+
+	// Logical accounting (totals; warmup transactions are excluded from
+	// the latency distribution but not from these counters or the digest).
+	Completed     int
+	LogicalOps    int
+	NotFoundReads int
+	PhysReads     int
+	PhysWrites    int
+	LogIOs        int
+	BackgroundIOs int
+	KindCount     map[string]int
+
+	// Component statistics.
+	Pool         buffer.Stats
+	HitRatio     float64
+	PoolResident int
+	PoolCapacity int
+	Locks        lock.Stats
+	LocksHeld    int
+
+	// LogicalDigest is the XOR of the per-session read digests. With one
+	// session it equals the serial engine's LogicalDigest for the same
+	// configuration — the cross-engine oracle invariant.
+	LogicalDigest uint64
+}
+
+// String renders a one-line summary.
+func (r ConcurrentResults) String() string {
+	return fmt.Sprintf("%d sessions: %d txns in %v (%.0f txn/s) p50=%dµs p99=%dµs hit=%.3f",
+		r.Sessions, r.Completed, r.Elapsed.Round(time.Millisecond), r.Throughput,
+		r.Latency.Quantile(0.50), r.Latency.Quantile(0.99), r.HitRatio)
+}
+
+// CheckInvariants validates the shared structures after a run: pool shard
+// quotas and pin counts, lock-table bookkeeping, and full lock release.
+func (c *Concurrent) CheckInvariants() error {
+	if err := c.pool.CheckInvariants(); err != nil {
+		return err
+	}
+	if c.locks != nil {
+		if err := c.locks.CheckInvariants(); err != nil {
+			return err
+		}
+		if held := c.locks.Locked(); held != 0 {
+			return fmt.Errorf("engine: %d objects still locked after run", held)
+		}
+	}
+	if c.log.Open() != 0 {
+		return fmt.Errorf("engine: %d transactions still open in the log", c.log.Open())
+	}
+	return nil
+}

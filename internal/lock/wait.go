@@ -1,0 +1,26 @@
+package lock
+
+import "oodb/internal/model"
+
+// AcquireWait requests mode on obj for txn and blocks the calling goroutine
+// until the lock is granted. It is the concurrent-engine counterpart of
+// Acquire's callback protocol: where the simulator resumes a suspended
+// transaction from the releasing transaction's completion event, a real
+// session goroutine parks on a channel and the releaser's ReleaseAll wakes
+// it. FIFO grant order is the manager's, unchanged; only the wait mechanism
+// differs.
+//
+// Deadlock freedom remains the caller's obligation: acquire every
+// transaction's lock set in one global order (the engine sorts by object
+// ID) so no wait cycle can form.
+func (m *Manager) AcquireWait(txn int, obj model.ObjectID, mode Mode) error {
+	granted := make(chan struct{})
+	ok, err := m.Acquire(txn, obj, mode, func() { close(granted) })
+	if err != nil {
+		return err
+	}
+	if !ok {
+		<-granted
+	}
+	return nil
+}

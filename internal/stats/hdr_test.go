@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistExactSmallValues(t *testing.T) {
+	var h Hist
+	for v := int64(0); v < 32; v++ {
+		h.Record(v)
+	}
+	if h.N() != 32 || h.Min() != 0 || h.Max() != 31 {
+		t.Fatalf("n/min/max = %d/%d/%d", h.N(), h.Min(), h.Max())
+	}
+	// Values below the sub-bucket count land in exact unit buckets.
+	if got := h.Quantile(0.5); got != 16 {
+		t.Fatalf("p50 of 0..31 = %d, want 16", got)
+	}
+	if h.Quantile(0) != 0 || h.Quantile(1) != 31 {
+		t.Fatalf("extremes %d/%d", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestHistClamps(t *testing.T) {
+	var h Hist
+	h.Record(-5)
+	h.Record(int64(1) << 62)
+	if h.N() != 2 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if h.Min() != 0 {
+		t.Fatalf("negative sample clamped to %d", h.Min())
+	}
+	if h.Max() != histMaxRecordable {
+		t.Fatalf("overflow sample clamped to %d", h.Max())
+	}
+}
+
+// TestHistQuantileRelativeError: against an exact sorted sample, every
+// queried quantile comes back within the bucket grid's ~1/32 relative
+// error.
+func TestHistQuantileRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Hist
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades, the shape of a latency distribution.
+		v := int64(math.Exp(rng.Float64() * 14))
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))]
+		got := h.Quantile(q)
+		if err := math.Abs(float64(got)-float64(exact)) / float64(exact); err > 0.04 {
+			t.Fatalf("q%.3f: got %d, exact %d, relative error %.3f", q, got, exact, err)
+		}
+	}
+}
+
+// TestHistMergeEquivalence: merging per-session histograms equals recording
+// everything into one — bucket-exact, not approximate.
+func TestHistMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var whole Hist
+	parts := make([]Hist, 4)
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1 << 30)
+		whole.Record(v)
+		parts[i%len(parts)].Record(v)
+	}
+	var merged Hist
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged != whole {
+		t.Fatal("merged histogram differs from whole-stream histogram")
+	}
+	// Merging an empty or nil histogram is a no-op.
+	before := merged
+	merged.Merge(&Hist{})
+	merged.Merge(nil)
+	if merged != before {
+		t.Fatal("empty merge changed the histogram")
+	}
+}
+
+func TestHistMeanApproximatesSampleMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h Hist
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		v := rng.Int63n(1 << 20)
+		sum += float64(v)
+		h.Record(v)
+	}
+	exact := sum / n
+	if err := math.Abs(h.Mean()-exact) / exact; err > 0.02 {
+		t.Fatalf("mean %f vs exact %f, relative error %.3f", h.Mean(), exact, err)
+	}
+}
+
+func TestHistIndexRoundTrip(t *testing.T) {
+	// Every bucket's representative value must map back to that bucket.
+	for i := 0; i < histBucketCount; i++ {
+		v := histValue(i)
+		if v > histMaxRecordable {
+			break
+		}
+		if got := histIndex(v); got != i {
+			t.Fatalf("histIndex(histValue(%d)) = %d", i, got)
+		}
+	}
+}

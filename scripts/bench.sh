@@ -1,9 +1,10 @@
 #!/bin/sh
 # Benchmark harness: runs the hot-path micro-benchmarks (core placement and
 # split machinery, buffer pool and replacement policies, storage lookup) and
-# the macro simulation-throughput benchmark (whole transactions per second,
-# per scale tier) with -benchmem, and writes the parsed results — ns/op,
-# B/op, allocs/op, and events/sec per benchmark — to BENCH_6.json (or the
+# the macro benchmarks (simulation throughput per scale tier, and concurrent
+# multi-session throughput/latency per client count) with -benchmem, and
+# writes the parsed results — ns/op, B/op, allocs/op, events/sec, and the
+# p50/p99/p999 latency percentiles where reported — to BENCH_7.json (or the
 # path given as $1). Compare two reports with:
 #   go run ./scripts/benchcmp OLD.json NEW.json
 # or gate on >10% ns/op regressions with:
@@ -24,7 +25,7 @@ if [ "${1:-}" = "-f" ]; then
     force=1
     shift
 fi
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 if [ -e "$out" ] && [ "$force" -eq 0 ]; then
     echo "bench.sh: $out already exists; pass -f to overwrite" >&2
     exit 1
@@ -47,9 +48,10 @@ if [ "$suite" != "macro" ]; then
 fi
 
 # Macro throughput: simulated transactions and kernel events per wall-clock
-# second, per scale tier (the large tier joins when OODB_BENCH_LARGE is set).
+# second, per scale tier (the large tier joins when OODB_BENCH_LARGE is set),
+# plus concurrent multi-session throughput and latency per client count.
 if [ "$suite" != "micro" ]; then
-    { go test -run '^$' -bench SimThroughput -benchtime "${BENCHTIME:-1s}" \
+    { go test -run '^$' -bench 'SimThroughput|ConcurrentSessions' -benchtime "${BENCHTIME:-1s}" \
         ./internal/engine/; echo "$?" > "$rc"; } | tee -a "$tmp"
     status="$(cat "$rc")"
     if [ "$status" -ne 0 ]; then
@@ -63,18 +65,25 @@ BEGIN { print "["; first = 1 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = ""; bop = "0"; aop = "0"; eps = "0"
+    ns = ""; bop = "0"; aop = "0"; eps = "0"; p50 = ""; p99 = ""; p999 = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i - 1)
         if ($i == "B/op") bop = $(i - 1)
         if ($i == "allocs/op") aop = $(i - 1)
         if ($i == "events/sec") eps = $(i - 1)
+        if ($i == "p50_us") p50 = $(i - 1)
+        if ($i == "p99_us") p99 = $(i - 1)
+        if ($i == "p999_us") p999 = $(i - 1)
     }
     if (ns == "") next
     if (!first) printf(",\n")
     first = 0
-    printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"events_per_sec\": %s}", \
+    printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"events_per_sec\": %s", \
            name, ns, bop, aop, eps)
+    if (p50 != "") printf(", \"p50_us\": %s", p50)
+    if (p99 != "") printf(", \"p99_us\": %s", p99)
+    if (p999 != "") printf(", \"p999_us\": %s", p999)
+    printf("}")
 }
 END { print "\n]" }
 ' "$tmp" > "$out"

@@ -32,6 +32,9 @@ type row struct {
 	BPerOp      float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	EventsPerS  float64 `json:"events_per_sec"`
+	P50Us       float64 `json:"p50_us,omitempty"`
+	P99Us       float64 `json:"p99_us,omitempty"`
+	P999Us      float64 `json:"p999_us,omitempty"`
 }
 
 func load(path string) (map[string]row, error) {
@@ -103,6 +106,15 @@ func main() {
 		}
 		if o.EventsPerS > 0 && n.EventsPerS > 0 && (o.EventsPerS-n.EventsPerS)/o.EventsPerS > gateThreshold {
 			regressions = append(regressions, fmt.Sprintf("%s: events/sec %s", name, delta(o.EventsPerS, n.EventsPerS)))
+		}
+		// Latency percentiles gate in the up direction, like ns/op: a p50
+		// or p99 that climbed >10% between same-machine reports means the
+		// concurrent path got slower under the same load.
+		if o.P50Us > 0 && n.P50Us > 0 && (n.P50Us-o.P50Us)/o.P50Us > gateThreshold {
+			regressions = append(regressions, fmt.Sprintf("%s: p50_us %s", name, delta(o.P50Us, n.P50Us)))
+		}
+		if o.P99Us > 0 && n.P99Us > 0 && (n.P99Us-o.P99Us)/o.P99Us > gateThreshold {
+			regressions = append(regressions, fmt.Sprintf("%s: p99_us %s", name, delta(o.P99Us, n.P99Us)))
 		}
 	}
 	for name := range oldRows {

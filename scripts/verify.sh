@@ -29,7 +29,10 @@ run_tests() {
 }
 
 run_tests "$@" ./...
-run_tests -race "$@" ./internal/experiment/... ./internal/sim/... ./internal/oracle/...
+# The race pass runs ~10x slower than native; on a single-CPU container the
+# experiment suite alone exceeds go test's default 10-minute per-package
+# timeout, so give it an explicit budget.
+run_tests -race -timeout 30m "$@" ./internal/experiment/... ./internal/sim/... ./internal/oracle/... ./internal/engine/... ./internal/lock/... ./internal/buffer/...
 # Bench smoke: every benchmark must run once without failing (full runs and
 # the BENCH_2.json report come from scripts/bench.sh).
 go test -run '^$' -bench . -benchtime 1x ./...

@@ -48,6 +48,37 @@ func RunSimulation(cfg SimConfig) (SimResults, error) {
 	return e.Run()
 }
 
+// Concurrent load: the wall-clock counterpart of RunSimulation. N session
+// goroutines drive one shared store; latency is real time, not simulated.
+
+type (
+	// ConcurrentOptions shapes a concurrent multi-session run: session
+	// count, closed-loop think time or open-loop arrival rate.
+	ConcurrentOptions = engine.ConcurrentOptions
+	// ConcurrentResults summarizes a concurrent run: throughput, the
+	// latency histogram, and the serial engine's logical observables.
+	ConcurrentResults = engine.ConcurrentResults
+)
+
+// RunConcurrentLoad executes one concurrent multi-session run and verifies
+// the shared structures' invariants afterwards. A one-session run produces
+// the same logical digest as RunSimulation with Users=1 on the same
+// configuration — the cross-engine oracle.
+func RunConcurrentLoad(cfg SimConfig, opt ConcurrentOptions) (ConcurrentResults, error) {
+	c, err := engine.NewConcurrent(cfg, opt)
+	if err != nil {
+		return ConcurrentResults{}, err
+	}
+	res, err := c.Run()
+	if err != nil {
+		return ConcurrentResults{}, err
+	}
+	if err := c.CheckInvariants(); err != nil {
+		return ConcurrentResults{}, err
+	}
+	return res, nil
+}
+
 // RunSimulations executes a batch of simulation runs on a worker pool
 // (opt.Workers wide, default GOMAXPROCS) and returns results in input
 // order. Each run owns its own seeded simulator, so the results are
