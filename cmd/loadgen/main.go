@@ -43,6 +43,10 @@ func main() {
 		rw      = flag.Float64("rw", 10, "oct workload: read/write ratio")
 		ocbDist = flag.String("ocb-dist", "zipf", "ocb workload: reference distribution (uniform | zipf | clustered)")
 
+		backend  = flag.String("backend", "", "storage backend (memory | file; default memory)")
+		dataDir  = flag.String("data-dir", "", "data directory for -backend file (write-ahead log + page file)")
+		fsyncPol = flag.String("fsync", "", "WAL fsync policy for -backend file (always | interval | never; default always)")
+
 		repl     = flag.String("repl", "LRU", "replacement policy: paper name (LRU | Context | Random) or any registered policy")
 		noLocks  = flag.Bool("no-locks", false, "disable object-granularity locking (structure guard still serializes writes)")
 		lockSh   = flag.Int("lock-shards", 0, "lock-table shard count (0 = auto-size to GOMAXPROCS)")
@@ -61,6 +65,9 @@ func main() {
 	cfg.Locking = !*noLocks
 	cfg.LockShards = *lockSh
 	cfg.BufferShards = *bufSh
+	cfg.Backend = *backend
+	cfg.DataDir = *dataDir
+	cfg.Fsync = *fsyncPol
 	if *wl != "oct" {
 		cfg.Workload = *wl
 		cfg.OCB = oodb.DefaultOCBParams()
@@ -88,7 +95,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen:", err)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fatal(err)
 		}
@@ -107,7 +118,7 @@ func main() {
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			f.Close()
+			f.Close() // errscan:ok already failing; the profile error wins
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -130,6 +141,10 @@ func main() {
 	if res.Config.Locking {
 		fmt.Printf("  locks: requests=%d conflicts=%d max-waiters=%d shards=%d\n",
 			res.Locks.Requests, res.Locks.Conflicts, res.Locks.MaxWaiters, res.Config.LockShards)
+	}
+	if d := res.Durability; d != (oodb.DurableStats{}) {
+		fmt.Printf("  wal: appends=%d fsyncs=%d bytes=%d page(r/w)=%d/%d committed=%d\n",
+			d.WALAppends, d.WALSyncs, d.WALBytes, d.PageReads, d.PageWrites, d.Committed)
 	}
 	fmt.Printf("  digest: %016x\n", res.LogicalDigest)
 }

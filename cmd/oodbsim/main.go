@@ -71,8 +71,37 @@ func main() {
 
 		ckptDir    = flag.String("ckpt-dir", "", "experiments: persist per-configuration checkpoints here; a killed batch restarts from them")
 		ckptEachAt = flag.Int("ckpt-each-at", 0, "experiments: checkpoint every run at this completed-transaction count (0 with -ckpt-dir = halfway)")
+
+		backend  = flag.String("backend", "", "single run: storage backend (memory | file; default memory)")
+		dataDir  = flag.String("data-dir", "", "single run: data directory for -backend file (write-ahead log + page file)")
+		fsyncPol = flag.String("fsync", "", "single run: WAL fsync policy for -backend file (always | interval | never; default always)")
+
+		recoverDir  = flag.String("recover", "", "replay the write-ahead log in this data directory, print the recovered state, and exit")
+		walDigestAt = flag.Int("wal-digest-at", -1, "with -data-dir: print the placement digest at the k-th WAL commit record and exit (0 = construction bootstrap)")
 	)
 	flag.Parse()
+
+	if *recoverDir != "" {
+		st, err := oodb.RecoverDataDir(*recoverDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recovered %s: committed=%d records=%d applied=%d skipped=%d objects=%d pages=%d frames=%d ok/%d corrupt digest=%016x\n",
+			*recoverDir, st.Committed, st.Records, st.Applied, st.Skipped,
+			st.Objects, st.Pages, st.FramesValid, st.FramesCorrupt, st.Digest)
+		return
+	}
+	if *walDigestAt >= 0 {
+		if *dataDir == "" {
+			fatal(fmt.Errorf("-wal-digest-at requires -data-dir"))
+		}
+		d, err := oodb.WALDigestAt(*dataDir, *walDigestAt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("digest=%016x\n", d)
+		return
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -84,7 +113,9 @@ func main() {
 		}
 		atExit = append(atExit, func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "oodbsim:", err)
+			}
 		})
 		defer flushAtExit()
 	}
@@ -100,7 +131,9 @@ func main() {
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "oodbsim:", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "oodbsim:", err)
+			}
 		})
 		defer flushAtExit()
 	}
@@ -134,6 +167,7 @@ func main() {
 			record: *record, replay: *replay,
 			workload: *wl, ocbDist: *ocbDist,
 			ocbRefs: *ocbRefs, ocbDepth: *ocbDepth, ocbScan: *ocbScan,
+			backend: *backend, dataDir: *dataDir, fsync: *fsyncPol,
 		}
 		if err := s.run(); err != nil {
 			fatal(err)
@@ -194,6 +228,10 @@ type singleRun struct {
 	ocbRefs  int
 	ocbDepth int
 	ocbScan  int
+
+	backend string
+	dataDir string
+	fsync   string
 
 	tier         string
 	calendar     string
@@ -257,6 +295,11 @@ func (s singleRun) config() (oodb.SimConfig, error) {
 			}
 			cfg.ClusterStrategy = s.strategy
 		}
+		// Storage-backend flags apply on top of any tier; Validate rejects
+		// inconsistent combinations (e.g. -fsync without -backend file).
+		cfg.Backend = s.backend
+		cfg.DataDir = s.dataDir
+		cfg.Fsync = s.fsync
 		return cfg, nil
 	}
 	cfg = oodb.DefaultSimConfig(s.scale)
@@ -307,10 +350,13 @@ func (s singleRun) config() (oodb.SimConfig, error) {
 			cfg.OCB.ScanSample = s.ocbScan
 		}
 	}
+	cfg.Backend = s.backend
+	cfg.DataDir = s.dataDir
+	cfg.Fsync = s.fsync
 	return cfg, nil
 }
 
-func (s singleRun) run() error {
+func (s singleRun) run() (err error) {
 	if s.checkpoint != "" && s.resume != "" {
 		return fmt.Errorf("-checkpoint and -resume are mutually exclusive")
 	}
@@ -327,19 +373,25 @@ func (s singleRun) run() error {
 		cfg.Recorder = counters
 	}
 	if s.record != "" {
-		f, err := os.Create(s.record)
-		if err != nil {
-			return err
+		f, cerr := os.Create(s.record)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		// The trace is written through this handle; a close failure means a
+		// truncated trace, so it must surface as the command's error.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		cfg.Record = f
 	}
 	if s.replay != "" {
-		f, err := os.Open(s.replay)
-		if err != nil {
-			return err
+		f, oerr := os.Open(s.replay)
+		if oerr != nil {
+			return oerr
 		}
-		defer f.Close()
+		defer f.Close() // errscan:ok read-only trace handle
 		cfg.Replay = f
 	}
 
@@ -356,7 +408,7 @@ func (s singleRun) run() error {
 		}
 		res, err = oodb.CheckpointSimulation(cfg, k, f)
 		if err != nil {
-			f.Close()
+			f.Close() // errscan:ok already failing; the run error wins
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -369,7 +421,7 @@ func (s singleRun) run() error {
 			return err
 		}
 		res, err = oodb.ResumeSimulation(cfg, f)
-		f.Close()
+		f.Close() // errscan:ok read-only checkpoint handle
 		if err != nil {
 			return err
 		}
@@ -379,12 +431,17 @@ func (s singleRun) run() error {
 		}
 	}
 	fmt.Println(res.String())
+	fmt.Printf("  digest=%016x\n", res.LogicalDigest)
 	fmt.Printf("  mean disk util=%.3f cpu util=%.3f log-disk util=%.3f sim time=%.1fs throughput=%.2f txn/s\n",
 		res.MeanDiskUtil, res.CPUUtil, res.LogDiskUtil, res.SimTime, res.Throughput)
 	fmt.Printf("  cluster: placements=%d moves=%d splits=%d candidateIOs=%d\n",
 		res.Cluster.Placements, res.Cluster.Moves, res.Cluster.Splits, res.Cluster.CandidateIOs)
 	fmt.Printf("  log: records=%d before-image IOs=%d buffer flushes=%d\n",
 		res.Log.Records, res.Log.BeforeImageIOs, res.Log.BufferFlushes)
+	if d := res.Durability; d != (oodb.DurableStats{}) {
+		fmt.Printf("  wal: appends=%d fsyncs=%d bytes=%d page(r/w)=%d/%d committed=%d\n",
+			d.WALAppends, d.WALSyncs, d.WALBytes, d.PageReads, d.PageWrites, d.Committed)
+	}
 	if counters != nil {
 		fmt.Println("  layer events:")
 		fmt.Print(counters.Render())

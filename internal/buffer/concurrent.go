@@ -29,7 +29,8 @@ type ConcurrentPool struct {
 	shards []cshard
 	mask   uint64
 	cap    int
-	rec    obs.Recorder // nil = uninstrumented
+	io     storage.PageIO // nil = count only, no physical transfer
+	rec    obs.Recorder   // nil = uninstrumented
 }
 
 // cframe is one resident page's bookkeeping. Frames are held by pointer so
@@ -91,6 +92,14 @@ func ShardCapacity(capacity, n, i int) int {
 // SetRecorder installs the instrumentation hook; nil disables it.
 func (p *ConcurrentPool) SetRecorder(r obs.Recorder) { p.rec = r }
 
+// SetPageIO installs the physical page-transfer backend; nil (the default)
+// keeps the pool a pure counting model. The transfers run under the shard
+// lock so the frame leaves residency and reaches the page file atomically
+// with respect to other faults on the shard — the straightforward ordering,
+// paid for by holding the shard during the I/O. Only that one shard stalls;
+// the others keep serving hits.
+func (p *ConcurrentPool) SetPageIO(io storage.PageIO) { p.io = io }
+
 // Shards returns the shard count.
 func (p *ConcurrentPool) Shards() int { return len(p.shards) }
 
@@ -113,7 +122,7 @@ func (p *ConcurrentPool) Access(pg storage.PageID) (AccessResult, error) {
 	if pg == storage.NilPage {
 		return AccessResult{}, fmt.Errorf("buffer: access to nil page")
 	}
-	return p.fault(pg)
+	return p.fault(pg, true)
 }
 
 // Install makes pg resident without a physical read. Installing an
@@ -122,13 +131,14 @@ func (p *ConcurrentPool) Install(pg storage.PageID) (AccessResult, error) {
 	if pg == storage.NilPage {
 		return AccessResult{}, fmt.Errorf("buffer: install of nil page")
 	}
-	return p.fault(pg)
+	return p.fault(pg, false)
 }
 
-// fault is the shared hit-or-admit path. Access and Install differ only in
-// what physical I/O the caller charges for a miss, which the caller derives
-// from the result; the pool-side bookkeeping is identical.
-func (p *ConcurrentPool) fault(pg storage.PageID) (AccessResult, error) {
+// fault is the shared hit-or-admit path. read distinguishes Access (a miss
+// is a physical fetch) from Install (freshly allocated pages have no disk
+// image); with a PageIO backend installed, that is the difference between
+// issuing ReadPage on a miss and not.
+func (p *ConcurrentPool) fault(pg storage.PageID, read bool) (AccessResult, error) {
 	sh := p.shardFor(pg)
 	sh.mu.Lock()
 	if sh.frames[pg] != nil {
@@ -152,6 +162,12 @@ func (p *ConcurrentPool) fault(pg storage.PageID) (AccessResult, error) {
 		res.Victim = victim
 		res.VictimDirty = vf != nil && vf.dirty
 		if res.VictimDirty {
+			if p.io != nil {
+				if err := p.io.WritePage(victim); err != nil {
+					sh.mu.Unlock()
+					return res, fmt.Errorf("buffer: flush of victim page %d: %w", victim, err)
+				}
+			}
 			sh.stats.Flushes++
 		}
 		sh.stats.Evictions++
@@ -160,6 +176,12 @@ func (p *ConcurrentPool) fault(pg storage.PageID) (AccessResult, error) {
 	}
 	sh.frames[pg] = &cframe{}
 	sh.policy.Admitted(pg)
+	if p.io != nil && read {
+		if err := p.io.ReadPage(pg); err != nil {
+			sh.mu.Unlock()
+			return res, err
+		}
+	}
 	sh.mu.Unlock()
 	if p.rec != nil {
 		p.rec.Count(obs.PoolMiss, 1)
@@ -297,6 +319,31 @@ func (s *Stats) merge(o Stats) {
 	s.Flushes += o.Flushes
 	s.Boosts += o.Boosts
 	s.Prefetches += o.Prefetches
+}
+
+// FlushDirty writes every dirty resident page through the PageIO backend
+// and clears its dirty flag, one shard at a time under that shard's write
+// lock — the shutdown/checkpoint sweep. Stats.Flushes is untouched: it
+// measures eviction-forced write-backs only.
+func (p *ConcurrentPool) FlushDirty() error {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for pg, f := range sh.frames {
+			if !f.dirty {
+				continue
+			}
+			if p.io != nil {
+				if err := p.io.WritePage(pg); err != nil {
+					sh.mu.Unlock()
+					return fmt.Errorf("buffer: flush of page %d: %w", pg, err)
+				}
+			}
+			f.dirty = false
+		}
+		sh.mu.Unlock()
+	}
+	return nil
 }
 
 // CheckInvariants validates internal consistency: shard occupancy within

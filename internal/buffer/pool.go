@@ -78,7 +78,8 @@ type Pool struct {
 	resident *frameTable
 	pinnedFn func(storage.PageID) bool // p.pinned, bound once
 	stats    Stats
-	rec      obs.Recorder // nil = uninstrumented
+	io       storage.PageIO // nil = count only, no physical transfer
+	rec      obs.Recorder   // nil = uninstrumented
 }
 
 type frame struct {
@@ -137,6 +138,12 @@ func (p *Pool) Policy() Policy { return p.policy }
 // SetRecorder installs the instrumentation hook; nil disables it.
 func (p *Pool) SetRecorder(r obs.Recorder) { p.rec = r }
 
+// SetPageIO installs the physical page-transfer backend. With it set, a
+// dirty eviction writes the victim's frame before the slot is reused and a
+// miss reads the faulted page's frame; nil (the default) keeps the pool a
+// pure counting model, byte-identical to the pre-durability behavior.
+func (p *Pool) SetPageIO(io storage.PageIO) { p.io = io }
+
 // Stats returns a copy of the pool statistics.
 func (p *Pool) Stats() Stats { return p.stats }
 
@@ -160,6 +167,14 @@ func (p *Pool) admit(pg storage.PageID, res *AccessResult) error {
 		res.Victim = victim
 		res.VictimDirty = vf.dirty
 		if vf.dirty {
+			// WAL ordering: the victim's mutations were journaled before the
+			// frame was marked dirty, so writing the frame here never puts
+			// unlogged state on disk.
+			if p.io != nil {
+				if err := p.io.WritePage(victim); err != nil {
+					return fmt.Errorf("buffer: flush of victim page %d: %w", victim, err)
+				}
+			}
 			p.stats.Flushes++
 			if p.rec != nil {
 				p.rec.Count(obs.PoolFlush, 1)
@@ -198,6 +213,13 @@ func (p *Pool) Access(pg storage.PageID) (AccessResult, error) {
 	res := AccessResult{}
 	if err := p.admit(pg, &res); err != nil {
 		return res, err
+	}
+	if p.io != nil {
+		// A miss is a physical fetch; Install (below) is not — freshly
+		// allocated pages have no disk image to read.
+		if err := p.io.ReadPage(pg); err != nil {
+			return res, err
+		}
 	}
 	return res, nil
 }
@@ -294,4 +316,26 @@ func (p *Pool) ForEachResident(fn func(pg storage.PageID, dirty bool)) {
 	p.resident.forEach(func(pg storage.PageID, f frame) {
 		fn(pg, f.dirty)
 	})
+}
+
+// FlushDirty writes every dirty resident page through the PageIO backend
+// and clears its dirty flag — the shutdown/checkpoint sweep. Flush counts
+// are untouched: Stats.Flushes measures eviction-forced write-backs only.
+// Without a PageIO backend it only clears the flags.
+func (p *Pool) FlushDirty() error {
+	var dirty []storage.PageID
+	p.resident.forEach(func(pg storage.PageID, f frame) {
+		if f.dirty {
+			dirty = append(dirty, pg)
+		}
+	})
+	for _, pg := range dirty {
+		if p.io != nil {
+			if err := p.io.WritePage(pg); err != nil {
+				return fmt.Errorf("buffer: flush of page %d: %w", pg, err)
+			}
+		}
+		p.Clean(pg)
+	}
+	return nil
 }

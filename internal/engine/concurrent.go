@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -59,6 +60,7 @@ type Concurrent struct {
 
 	graph   *model.Graph
 	store   storage.Backend
+	durable storage.Durable // non-nil iff the backend is persistent
 	pool    *buffer.ConcurrentPool
 	clust   core.ClusterStrategy
 	log     *txlog.Manager
@@ -235,12 +237,27 @@ func NewConcurrent(cfg Config, opt ConcurrentOptions) (*Concurrent, error) {
 		return nil, err
 	}
 
+	// Backend wrapping mirrors the serial engine. Page I/O from the pool is
+	// safe here because every fault originates inside execute, which holds
+	// the structure guard — the manager state a frame write reads is stable
+	// for the duration.
+	fsync, err := storage.ParseFsync(cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	bk, err := storage.NewBackendByName(cfg.Backend, store, storage.BackendOptions{
+		Dir: cfg.DataDir, Fsync: fsync,
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	stratName := cfg.ClusterStrategy
 	if stratName == "" {
 		stratName = "affinity"
 	}
 	clust, err := core.NewClusterStrategy(stratName, core.ClusterSeam{
-		Graph: graph, Store: store, Pool: pool,
+		Graph: graph, Store: bk, Pool: pool,
 		Policy: cfg.Cluster, Split: cfg.Split,
 		Hints: cfg.Hints, Hint: cfg.HintKind,
 		PageSize:            cfg.PageSize,
@@ -254,8 +271,13 @@ func NewConcurrent(cfg Config, opt ConcurrentOptions) (*Concurrent, error) {
 
 	c := &Concurrent{
 		cfg: cfg, opt: opt,
-		graph: graph, store: store, pool: pool, clust: clust, log: log,
+		graph: graph, store: bk, pool: pool, clust: clust, log: log,
 		db: db, ocbBase: base,
+	}
+	if d, ok := bk.(storage.Durable); ok {
+		c.durable = d
+		pool.SetPageIO(d)
+		log.SetDurable(d)
 	}
 	if cfg.Locking {
 		c.locks = lock.NewManagerSharded(cfg.LockShards)
@@ -285,14 +307,14 @@ func NewConcurrent(cfg Config, opt ConcurrentOptions) (*Concurrent, error) {
 		}
 		// Per-session prefetcher: it keeps scratch buffers and counters.
 		pf := &core.Prefetcher{
-			Graph: graph, Store: store, Pool: pool,
+			Graph: graph, Store: bk, Pool: pool,
 			Policy: cfg.Prefetch, Hints: cfg.Hints, Hint: cfg.HintKind,
 		}
 		c.sessions[i] = &csession{
 			id:    i,
 			think: s.Stream(fmt.Sprintf("think-%d", i)),
 			stack: &stack{
-				graph: graph, store: store, pool: pool,
+				graph: graph, store: bk, pool: pool,
 				clust: clust, pf: pf, log: log, gen: gen,
 				boostContext: boostContext,
 				boostLimit:   cfg.ContextBoostLimit,
@@ -328,7 +350,25 @@ func NewConcurrent(cfg Config, opt ConcurrentOptions) (*Concurrent, error) {
 	pool.ResetStats()
 	clust.ResetStats()
 	log.ResetStats()
+	if c.durable != nil {
+		if err := c.durable.CommitBootstrap(); err != nil {
+			return nil, fmt.Errorf("engine: committing construction bootstrap: %w", err)
+		}
+	}
 	return c, nil
+}
+
+// Close flushes the buffer pool's dirty pages and releases the persistent
+// backend's files; a memory-backed engine closes as a no-op. Idempotent.
+// Call after Run has returned — Close does not quiesce the sessions.
+func (c *Concurrent) Close() error {
+	if c.durable == nil {
+		return nil
+	}
+	d := c.durable
+	c.durable = nil
+	flushErr := c.pool.FlushDirty()
+	return errors.Join(flushErr, d.Close())
 }
 
 // ceilPow2 rounds n up to the next power of two (minimum 1).
@@ -373,6 +413,9 @@ func (c *Concurrent) Run() (ConcurrentResults, error) {
 	if c.locks != nil {
 		r.Locks = c.locks.Stats()
 		r.LocksHeld = c.locks.Locked()
+	}
+	if c.durable != nil {
+		r.Durability = c.durable.DurableStats()
 	}
 	for _, cs := range c.sessions {
 		if cs.err != nil {
@@ -582,6 +625,10 @@ type ConcurrentResults struct {
 	// session it equals the serial engine's LogicalDigest for the same
 	// configuration — the cross-engine oracle invariant.
 	LogicalDigest uint64
+
+	// Durability reports the real physical I/O a persistent backend
+	// performed (zero value under the in-memory backend).
+	Durability storage.DurableStats
 }
 
 // String renders a one-line summary.

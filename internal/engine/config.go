@@ -18,6 +18,7 @@ import (
 	"oodb/internal/obs"
 	"oodb/internal/ocb"
 	"oodb/internal/sim"
+	"oodb/internal/storage"
 	"oodb/internal/workload"
 )
 
@@ -184,6 +185,19 @@ type Config struct {
 	// mutually exclusive.
 	Replay io.Reader
 
+	// --- Durability (file-backed storage) ---
+
+	// Backend selects the storage backend from the name registry: "" or
+	// "memory" for the in-memory manager (the default; byte-identical to
+	// the pre-durability engine), "file" for the WAL-backed file backend.
+	Backend string
+	// DataDir is the data directory for the file backend (WAL + page
+	// file). Required when Backend is "file"; must be empty otherwise.
+	DataDir string
+	// Fsync names the WAL sync policy for the file backend: "" or
+	// "always", "interval", "never". Must be empty for in-memory wiring.
+	Fsync string
+
 	// --- Layer seams ---
 
 	// ReplacementName, when non-empty, selects the buffer replacement policy
@@ -296,6 +310,22 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: unknown workload %q (want %q or %q)",
 			c.Workload, WorkloadOCT, WorkloadOCB)
 	}
+	if !storage.HasBackend(c.Backend) {
+		return fmt.Errorf("engine: unknown storage backend %q (have %v)",
+			c.Backend, storage.BackendNames())
+	}
+	if _, err := storage.ParseFsync(c.Fsync); err != nil {
+		return err
+	}
+	persistent := !storage.IsMemoryBackend(c.Backend)
+	switch {
+	case persistent && c.DataDir == "":
+		return fmt.Errorf("engine: backend %q requires DataDir", c.Backend)
+	case !persistent && c.DataDir != "":
+		return fmt.Errorf("engine: DataDir is only meaningful with a persistent backend")
+	case !persistent && c.Fsync != "":
+		return fmt.Errorf("engine: Fsync is only meaningful with a persistent backend")
+	}
 	return nil
 }
 
@@ -316,6 +346,12 @@ func (c Config) Fingerprint() string {
 	c.Calendar = ""
 	c.LockShards = 0
 	c.BufferShards = 0
+	// The storage backend changes where state lives, not what the simulation
+	// computes — the file backend's logical digest is asserted equal to the
+	// memory backend's — so a checkpoint is portable across backends.
+	c.Backend = ""
+	c.DataDir = ""
+	c.Fsync = ""
 	return fmt.Sprintf("%+v", c)
 }
 

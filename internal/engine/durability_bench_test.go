@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkFileBackendThroughput is the real-I/O macro-benchmark behind
+// BENCH_8.json: the serial simulation with the file backend journaling
+// every placement mutation to a write-ahead log and faulting page frames
+// through a page file, across the three fsync policies. The spread between
+// never/interval/always is the price of the durability guarantee itself —
+// the WAL append path is identical, only the fsync cadence changes.
+func BenchmarkFileBackendThroughput(b *testing.B) {
+	for _, fsync := range []string{"never", "interval", "always"} {
+		b.Run("fsync="+fsync, func(b *testing.B) {
+			cfg := DefaultConfig(0.02)
+			cfg.Transactions = b.N
+			cfg.Backend = "file"
+			cfg.DataDir = b.TempDir()
+			cfg.Fsync = fsync
+			e, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res, err := e.Run()
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(res.Completed)/sec, "events/sec")
+			}
+			d := res.Durability
+			if d.WALAppends > 0 && res.Completed > 0 {
+				b.ReportMetric(float64(d.WALBytes)/float64(res.Completed), "walB/txn")
+			}
+		})
+	}
+}
+
+// BenchmarkFileBackendConcurrent measures the concurrent engine over the
+// file backend: parallel sessions whose commits serialize through one WAL.
+// Latency percentiles expose what the shared journal adds to the
+// memory-backend BenchmarkConcurrentSessions numbers.
+func BenchmarkFileBackendConcurrent(b *testing.B) {
+	for _, clients := range []int{1, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			cfg := DefaultConfig(0.02)
+			cfg.Transactions = b.N
+			cfg.Backend = "file"
+			cfg.DataDir = b.TempDir()
+			cfg.Fsync = "interval"
+			opt := ConcurrentOptions{
+				Sessions:  clients,
+				ThinkTime: 2 * time.Millisecond,
+			}
+			c, err := NewConcurrent(cfg, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res, err := c.Run()
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(res.Completed)/sec, "events/sec")
+			}
+			if res.Latency.N() > 0 {
+				b.ReportMetric(float64(res.Latency.Quantile(0.50)), "p50_us")
+				b.ReportMetric(float64(res.Latency.Quantile(0.99)), "p99_us")
+			}
+		})
+	}
+}

@@ -30,6 +30,7 @@ type Engine struct {
 	ocbBase *ocb.Base          // OCB object base; nil under the OCT workload
 	graph   *model.Graph
 	store   storage.Backend
+	durable storage.Durable // non-nil iff the backend is persistent
 	pool    *buffer.Pool
 	clust   core.ClusterStrategy
 	tuner   core.PolicyTuner // clust's run-time tuning hook; nil if untunable
@@ -135,6 +136,20 @@ func New(cfg Config) (*Engine, error) {
 	pool.SetRecorder(cfg.Recorder)
 	store.SetRecorder(cfg.Recorder)
 
+	// The storage backend wraps the in-memory manager: "memory" is the
+	// identity wrapping, "file" journals every placement to a WAL and bears
+	// real page I/O. Everything downstream sees only storage.Backend.
+	fsync, err := storage.ParseFsync(cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	bk, err := storage.NewBackendByName(cfg.Backend, store, storage.BackendOptions{
+		Dir: cfg.DataDir, Fsync: fsync, Recorder: cfg.Recorder,
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	// Clustering strategies come from their own registry; "affinity" is the
 	// paper's algorithm and the default.
 	stratName := cfg.ClusterStrategy
@@ -142,7 +157,7 @@ func New(cfg Config) (*Engine, error) {
 		stratName = "affinity"
 	}
 	clust, err := core.NewClusterStrategy(stratName, core.ClusterSeam{
-		Graph: graph, Store: store, Pool: pool,
+		Graph: graph, Store: bk, Pool: pool,
 		Policy: cfg.Cluster, Split: cfg.Split,
 		Hints: cfg.Hints, Hint: cfg.HintKind,
 		PageSize:            cfg.PageSize,
@@ -154,7 +169,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 
 	pf := &core.Prefetcher{
-		Graph: graph, Store: store, Pool: pool,
+		Graph: graph, Store: bk, Pool: pool,
 		Policy: cfg.Prefetch, Hints: cfg.Hints, Hint: cfg.HintKind,
 	}
 	pf.SetRecorder(cfg.Recorder)
@@ -163,11 +178,19 @@ func New(cfg Config) (*Engine, error) {
 	log.SetRecorder(cfg.Recorder)
 
 	e := &Engine{
-		cfg: cfg, sim: s, db: db, ocbBase: base, graph: graph, store: store,
+		cfg: cfg, sim: s, db: db, ocbBase: base, graph: graph, store: bk,
 		pool: pool, clust: clust, pf: pf,
 		log:    log,
 		rec:    cfg.Recorder,
 		wrkRNG: s.Stream("workload"),
+	}
+	// A persistent backend is discovered by capability, the same pattern as
+	// the cluster strategies' PolicyTuner: the pool gets real page I/O, the
+	// txlog gets durable transaction boundaries, the memory path pays nothing.
+	if d, ok := bk.(storage.Durable); ok {
+		e.durable = d
+		pool.SetPageIO(d)
+		log.SetDurable(d)
 	}
 	e.tuner, _ = clust.(core.PolicyTuner)
 	if base != nil {
@@ -180,7 +203,7 @@ func New(cfg Config) (*Engine, error) {
 	// skips computing the boost set entirely.
 	_, boostContext := policy.(*core.ContextPolicy)
 	e.access = &stack{
-		graph: graph, store: store, pool: pool,
+		graph: graph, store: bk, pool: pool,
 		clust: clust, pf: pf, log: log, gen: e.gen,
 		rec:          cfg.Recorder,
 		boostContext: boostContext,
@@ -224,7 +247,27 @@ func New(cfg Config) (*Engine, error) {
 	if err := e.constructDatabase(); err != nil {
 		return nil, err
 	}
+	if e.durable != nil {
+		// The construction placements were journaled under the bootstrap
+		// pseudo-transaction; commit them durably before the run starts so
+		// recovery always has the baseline every run transaction builds on.
+		if err := e.durable.CommitBootstrap(); err != nil {
+			return nil, fmt.Errorf("engine: committing construction bootstrap: %w", err)
+		}
+	}
 	return e, nil
+}
+
+// Close flushes the buffer pool's dirty pages and releases the persistent
+// backend's files; a memory-backed engine closes as a no-op. Idempotent.
+func (e *Engine) Close() error {
+	if e.durable == nil {
+		return nil
+	}
+	d := e.durable
+	e.durable = nil
+	flushErr := e.pool.FlushDirty()
+	return errors.Join(flushErr, d.Close())
 }
 
 // constructDatabase replays the interleaved creation order through the

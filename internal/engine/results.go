@@ -7,6 +7,7 @@ import (
 	"oodb/internal/core"
 	"oodb/internal/lock"
 	"oodb/internal/stats"
+	"oodb/internal/storage"
 	"oodb/internal/txlog"
 	"oodb/internal/workload"
 )
@@ -173,6 +174,10 @@ type Results struct {
 	// LocksHeld is the number of objects still locked at end of run (must
 	// be zero: every acquire is paired with a release).
 	LocksHeld int
+
+	// Durability reports the real physical I/O a persistent backend
+	// performed (zero value under the in-memory backend).
+	Durability storage.DurableStats
 }
 
 func (e *Engine) results() Results {
@@ -219,6 +224,9 @@ func (e *Engine) results() Results {
 	}
 	if st, ok := e.access.(*stack); ok {
 		r.LogicalDigest = st.digest
+	}
+	if e.durable != nil {
+		r.Durability = e.durable.DurableStats()
 	}
 	r.PoolResident = e.pool.Resident()
 	r.PoolCapacity = e.pool.Capacity()

@@ -26,7 +26,7 @@ import (
 // replication seeds) never collide on one file.
 func (h *Harness) checkpointPath(cfg engine.Config) string {
 	hash := fnv.New64a()
-	hash.Write([]byte(key(cfg)))
+	hash.Write([]byte(key(cfg))) // errscan:ok hash.Hash.Write never returns an error
 	return filepath.Join(h.opt.CheckpointDir, fmt.Sprintf("%016x.ckpt", hash.Sum64()))
 }
 
@@ -96,7 +96,7 @@ func (h *Harness) resumeFromDisk(cfg engine.Config) (engine.Results, bool) {
 	if err != nil {
 		return engine.Results{}, false
 	}
-	defer f.Close()
+	defer f.Close() // errscan:ok read-only checkpoint handle
 	ck, err := engine.ReadCheckpoint(f)
 	if err != nil {
 		h.progress(fmt.Sprintf("checkpoint for %s unreadable (%v), running fresh", cfg.Label(), err))
@@ -128,7 +128,7 @@ func (h *Harness) persistCheckpoint(cfg engine.Config, data []byte) error {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		tmp.Close() // errscan:ok already failing; the write error wins
 		os.Remove(tmp.Name())
 		return err
 	}

@@ -502,13 +502,13 @@ func (t *Table) Render() string {
 	for _, c := range t.Columns {
 		fmt.Fprintf(&b, " %*s", w, c)
 	}
-	b.WriteString("\n")
+	b.WriteString("\n") // errscan:ok strings.Builder never errors
 	for _, r := range t.Rows {
 		fmt.Fprintf(&b, "%-14s", r.Label)
 		for _, v := range r.Cells {
 			fmt.Fprintf(&b, " %*.4f", w, v)
 		}
-		b.WriteString("\n")
+		b.WriteString("\n") // errscan:ok strings.Builder never errors
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)

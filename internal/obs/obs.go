@@ -114,6 +114,20 @@ const (
 	OCBStochasticHit
 	OCBStochasticIO
 
+	// --- storage: durability (file backend) ---
+
+	// WALAppend is one record appended to the write-ahead log.
+	WALAppend
+	// WALFsync is one fsync of the write-ahead log file.
+	WALFsync
+	// StorePageRead is one physical page-frame read from the page file.
+	StorePageRead
+	// StorePageWrite is one physical page-frame write to the page file.
+	StorePageWrite
+	// WALRecoveryReplayed is one committed mutation record applied by WAL
+	// replay during recovery.
+	WALRecoveryReplayed
+
 	// NumEvents bounds the event space; counting recorders size their
 	// arrays with it.
 	NumEvents
@@ -150,6 +164,11 @@ var eventNames = [NumEvents]string{
 	OCBHierarchyIO:      "ocb.hierarchy.io",
 	OCBStochasticHit:    "ocb.stochastic.hit",
 	OCBStochasticIO:     "ocb.stochastic.io",
+	WALAppend:           "wal.append",
+	WALFsync:            "wal.fsync",
+	StorePageRead:       "store.page_read",
+	StorePageWrite:      "store.page_write",
+	WALRecoveryReplayed: "wal.recovery_replayed",
 }
 
 // String names the event as "layer.event".

@@ -203,7 +203,7 @@ func (s *Sim) Stream(name string) *rand.Rand {
 // checkpointed streams re-derive bit-identical sequences.
 func streamSeed(seed int64, name string) int64 {
 	h := fnv.New64a()
-	h.Write([]byte(name))
+	h.Write([]byte(name)) // errscan:ok hash.Hash.Write never returns an error
 	return seed ^ int64(h.Sum64())
 }
 

@@ -1,0 +1,29 @@
+package storage
+
+import "oodb/internal/model"
+
+// PlacementHash mixes one (object, page) placement into a 64-bit value.
+// The manager folds these with XOR into an order-independent digest of the
+// whole object->page map, maintained incrementally in setWhere: XOR removes
+// the old placement and adds the new one in O(1), so StateDigest is free to
+// read at any time. Commit records in the write-ahead log carry the digest,
+// giving crash recovery an end-to-end check that the replayed state is the
+// committed state.
+//
+// The mixer is the splitmix64 finalizer over the packed (object, page)
+// pair, with the golden-ratio increment so the all-zero pair does not map
+// to zero.
+func PlacementHash(obj model.ObjectID, pg PageID) uint64 {
+	x := uint64(obj)<<32 | uint64(pg)
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// StateDigest returns the order-independent digest of the current
+// object->page map: the XOR of PlacementHash over every placed object.
+func (m *Manager) StateDigest() uint64 { return m.digest }

@@ -1,0 +1,348 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"oodb/internal/model"
+	"oodb/internal/obs"
+)
+
+// PageIO is the physical page-transfer seam the buffer pool drives: the
+// pool calls WritePage when it evicts a dirty frame and ReadPage when an
+// access misses. The default in-memory wiring installs no PageIO and the
+// pool only counts; the file backend implements it against the page file.
+type PageIO interface {
+	// ReadPage fetches page pg's frame from stable storage, validating its
+	// checksum. Reading a page that was never written back is not an error.
+	ReadPage(pg PageID) error
+	// WritePage writes page pg's current contents to stable storage.
+	WritePage(pg PageID) error
+}
+
+// TxnLog is the transaction-boundary seam the recovery log drives: the
+// txlog manager forwards begin/commit/abort so transaction boundaries
+// become durable WAL records.
+type TxnLog interface {
+	// LogBegin opens transaction txn in the durable log.
+	LogBegin(txn int) error
+	// LogCommit makes transaction txn durable (fsync per policy).
+	LogCommit(txn int) error
+	// LogAbort abandons transaction txn; its mutations will not replay.
+	LogAbort(txn int) error
+}
+
+// Durable is the full contract of a persistent storage backend: the
+// in-memory Backend surface plus physical page I/O, durable transaction
+// boundaries, and lifecycle. The engine discovers it by type assertion on
+// the Backend it constructed — the same pattern as the buffer layer's
+// PolicyTuner — so in-memory wiring pays nothing.
+type Durable interface {
+	Backend
+	PageIO
+	TxnLog
+	// CommitBootstrap durably commits the database-construction pseudo-
+	// transaction (WAL txn 0) once initial placement is complete.
+	CommitBootstrap() error
+	// Checkpoint records a durable point: a checkpoint record, then both
+	// files forced to stable storage.
+	Checkpoint() error
+	// Close checkpoints and releases the underlying files. Idempotent.
+	Close() error
+	// Committed returns the number of committed run transactions.
+	Committed() int
+	// DurableStats snapshots the physical I/O counters.
+	DurableStats() DurableStats
+}
+
+// DurableStats counts the physical work a durable backend performed.
+type DurableStats struct {
+	WALAppends int64 // records appended to the write-ahead log
+	WALSyncs   int64 // fsyncs of the log file
+	WALBytes   int64 // bytes written to the log
+	PageReads  int64 // page frames read from the page file
+	PageWrites int64 // page frames written to the page file
+	Committed  int64 // committed run transactions
+}
+
+// File names inside a backend data directory.
+const (
+	// WALFileName is the write-ahead log inside a data directory.
+	WALFileName = "wal.log"
+	// PageFileName is the page-frame file inside a data directory.
+	PageFileName = "pages.db"
+)
+
+// FileBackend is the file-backed storage backend: the embedded in-memory
+// Manager remains the authoritative object->page map (clustering probes
+// pages whether or not they are buffer-resident), while every mutation is
+// journaled to a write-ahead log and the buffer pool's evictions and
+// misses perform real frame I/O against a page file. The WAL is the
+// recovery authority; the page file is derived, write-behind state.
+//
+// WAL appends are serialized by mu. The engines uphold that guarantee
+// structurally — write transactions are fully serialized (the concurrent
+// engine holds the structure lock exclusively for writes) — which is also
+// what makes the single current-transaction register sound: records of
+// distinct transactions never interleave in the log.
+type FileBackend struct {
+	*Manager
+
+	dir    string
+	policy FsyncPolicy
+	rec    obs.Recorder
+
+	mu  sync.Mutex // serializes WAL appends and commit bookkeeping
+	wal *walWriter
+	cur uint64 // WAL txn attributed to in-flight mutations; 0 = bootstrap
+
+	ioMu  sync.Mutex // serializes page-file I/O (shared frame scratch)
+	pages *pageFile
+
+	commits    atomic.Int64 // committed run transactions
+	pageReads  atomic.Int64
+	pageWrites atomic.Int64
+
+	closed bool
+}
+
+var _ Durable = (*FileBackend)(nil)
+
+// NewFileBackend opens a file backend over m in opt.Dir, creating the WAL
+// and page file. A directory that already holds a non-empty WAL is refused:
+// recover it with RecoverDir (the engine never implicitly reuses state) or
+// point the run at a fresh directory.
+func NewFileBackend(m *Manager, opt BackendOptions) (*FileBackend, error) {
+	if opt.Dir == "" {
+		return nil, errors.New("storage: file backend requires a data directory")
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	walPath := filepath.Join(opt.Dir, WALFileName)
+	if fi, err := os.Stat(walPath); err == nil && fi.Size() > 0 {
+		return nil, fmt.Errorf("storage: %s already holds a WAL; recover it with RecoverDir or point the run at a fresh directory", opt.Dir)
+	}
+	wal, err := newWALWriter(walPath, m.PageSize(), opt.Recorder)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := openPageFile(filepath.Join(opt.Dir, PageFileName), m.PageSize())
+	if err == nil {
+		// A fresh run must not inherit stale frames from a prior page file
+		// (openPageFile cannot truncate: RecoverDir reuses it to scrub).
+		err = pf.f.Truncate(0)
+	}
+	if err != nil {
+		wal.f.Close() // errscan:ok best-effort cleanup; the open error is reported
+		return nil, err
+	}
+	return &FileBackend{
+		Manager: m,
+		dir:     opt.Dir,
+		policy:  opt.Fsync,
+		rec:     opt.Recorder,
+		wal:     wal,
+		pages:   pf,
+	}, nil
+}
+
+// Dir returns the backend's data directory.
+func (fb *FileBackend) Dir() string { return fb.dir }
+
+// journal appends one mutation record attributed to the current WAL
+// transaction. A journaling failure is fatal to the run: the in-memory
+// mutation has already been applied, and continuing would let the log
+// diverge from the state it must be able to reproduce.
+func (fb *FileBackend) journal(rec WALRecord) error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	rec.Txn = fb.cur
+	return fb.wal.append(rec)
+}
+
+// Place applies the in-memory placement, then journals it.
+func (fb *FileBackend) Place(obj model.ObjectID, pg PageID) error {
+	if err := fb.Manager.Place(obj, pg); err != nil {
+		return err
+	}
+	return fb.journal(WALRecord{Kind: WALPlace, Obj: obj, Page: pg, Size: fb.graph.Object(obj).Size})
+}
+
+// Remove applies the in-memory removal, then journals it.
+func (fb *FileBackend) Remove(obj model.ObjectID) error {
+	pg := fb.PageOf(obj)
+	if err := fb.Manager.Remove(obj); err != nil {
+		return err
+	}
+	size := 0
+	if o := fb.graph.Object(obj); o != nil {
+		size = o.Size
+	}
+	return fb.journal(WALRecord{Kind: WALRemove, Obj: obj, Page: pg, Size: size})
+}
+
+// Move applies the in-memory relocation, then journals it as one record.
+// Manager.Move runs Remove+Place on the Manager receiver directly, so the
+// two halves are not separately journaled.
+func (fb *FileBackend) Move(obj model.ObjectID, pg PageID) error {
+	from := fb.PageOf(obj)
+	if err := fb.Manager.Move(obj, pg); err != nil {
+		return err
+	}
+	if from == pg {
+		return nil // no-op move; nothing happened, nothing to journal
+	}
+	return fb.journal(WALRecord{Kind: WALMove, Obj: obj, Page: from, To: pg, Size: fb.graph.Object(obj).Size})
+}
+
+// LogBegin opens run transaction txn in the WAL and attributes subsequent
+// mutations to it. Engine transaction IDs shift up by one in the log; WAL
+// txn 0 is reserved for the construction bootstrap.
+func (fb *FileBackend) LogBegin(txn int) error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.cur = uint64(txn) + 1
+	return fb.wal.append(WALRecord{Kind: WALBegin, Txn: fb.cur})
+}
+
+// LogCommit appends the commit record — carrying the placement digest the
+// replayed state must reproduce — and fsyncs per policy.
+func (fb *FileBackend) LogCommit(txn int) error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	err := fb.wal.append(WALRecord{Kind: WALCommit, Txn: uint64(txn) + 1, Digest: fb.StateDigest()})
+	if err != nil {
+		return err
+	}
+	n := fb.commits.Add(1)
+	switch fb.policy {
+	case FsyncAlways:
+		return fb.wal.sync()
+	case FsyncInterval:
+		if n%fsyncEveryCommits == 0 {
+			return fb.wal.sync()
+		}
+	}
+	return nil
+}
+
+// LogAbort appends the abort record; the transaction's mutation records
+// are dead weight recovery will skip.
+func (fb *FileBackend) LogAbort(txn int) error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return fb.wal.append(WALRecord{Kind: WALAbort, Txn: uint64(txn) + 1})
+}
+
+// CommitBootstrap durably commits the construction pseudo-transaction
+// (WAL txn 0). Always synced: the initial placement is the baseline every
+// later transaction's records build on.
+func (fb *FileBackend) CommitBootstrap() error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if err := fb.wal.append(WALRecord{Kind: WALCommit, Txn: 0, Digest: fb.StateDigest()}); err != nil {
+		return err
+	}
+	return fb.wal.sync()
+}
+
+// Checkpoint records a durable point: a checkpoint record carrying the
+// current digest, then both files forced to stable storage.
+func (fb *FileBackend) Checkpoint() error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if err := fb.wal.append(WALRecord{Kind: WALCheckpoint, Digest: fb.StateDigest()}); err != nil {
+		return err
+	}
+	if err := fb.wal.sync(); err != nil {
+		return err
+	}
+	fb.ioMu.Lock()
+	defer fb.ioMu.Unlock()
+	return fb.pages.sync()
+}
+
+// Close checkpoints and releases both files. Idempotent: a second Close is
+// a no-op, so engines can close defensively.
+func (fb *FileBackend) Close() error {
+	fb.mu.Lock()
+	if fb.closed {
+		fb.mu.Unlock()
+		return nil
+	}
+	fb.closed = true
+	err := fb.wal.append(WALRecord{Kind: WALCheckpoint, Digest: fb.StateDigest()})
+	err = errors.Join(err, fb.wal.close())
+	fb.mu.Unlock()
+	fb.ioMu.Lock()
+	defer fb.ioMu.Unlock()
+	return errors.Join(err, fb.pages.sync(), fb.pages.close())
+}
+
+// ReadPage fetches page pg's frame from the page file, validating its
+// checksum. A frame that was never written back reads as absent, not as an
+// error — the in-memory manager is authoritative and the pool only needs
+// the physical transfer performed.
+func (fb *FileBackend) ReadPage(pg PageID) error {
+	fb.ioMu.Lock()
+	_, err := fb.pages.readPage(pg)
+	fb.ioMu.Unlock()
+	if err != nil {
+		return err
+	}
+	fb.pageReads.Add(1)
+	if fb.rec != nil {
+		fb.rec.Count(obs.StorePageRead, 1)
+	}
+	return nil
+}
+
+// WritePage writes page pg's current contents to its frame in the page
+// file. The pool calls this on dirty eviction and during FlushDirty.
+func (fb *FileBackend) WritePage(pg PageID) error {
+	p := fb.Page(pg)
+	if p == nil {
+		return fmt.Errorf("storage: %w: page %d", ErrNoSuchPage, pg)
+	}
+	fb.ioMu.Lock()
+	err := fb.pages.writePage(p, fb.sizeOf)
+	fb.ioMu.Unlock()
+	if err != nil {
+		return err
+	}
+	fb.pageWrites.Add(1)
+	if fb.rec != nil {
+		fb.rec.Count(obs.StorePageWrite, 1)
+	}
+	return nil
+}
+
+func (fb *FileBackend) sizeOf(obj model.ObjectID) int {
+	if o := fb.graph.Object(obj); o != nil {
+		return o.Size
+	}
+	return 0
+}
+
+// Committed returns the number of committed run transactions.
+func (fb *FileBackend) Committed() int { return int(fb.commits.Load()) }
+
+// DurableStats snapshots the physical I/O counters.
+func (fb *FileBackend) DurableStats() DurableStats {
+	fb.mu.Lock()
+	st := DurableStats{
+		WALAppends: fb.wal.appends,
+		WALSyncs:   fb.wal.syncs,
+		WALBytes:   fb.wal.bytes,
+	}
+	fb.mu.Unlock()
+	st.PageReads = fb.pageReads.Load()
+	st.PageWrites = fb.pageWrites.Load()
+	st.Committed = fb.commits.Load()
+	return st
+}

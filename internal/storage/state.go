@@ -59,6 +59,7 @@ func (m *Manager) Restore(st State) error {
 	m.where = nil
 	m.sparse = nil
 	m.objects = 0
+	m.digest = 0 // setWhere re-accumulates it placement by placement
 	for _, p := range pages[1:] {
 		for _, obj := range p.Objects {
 			if m.graph.Object(obj) == nil {

@@ -98,6 +98,10 @@ type Manager struct {
 	objects  int
 	free     []PageID // emptied pages, reused by AllocatePage
 
+	// digest is the incremental XOR of PlacementHash over every placed
+	// object, maintained by setWhere (see digest.go).
+	digest uint64
+
 	rec obs.Recorder // nil = uninstrumented
 }
 
@@ -189,6 +193,14 @@ func (m *Manager) ObjectsOn(id PageID) []model.ObjectID {
 }
 
 func (m *Manager) setWhere(obj model.ObjectID, pg PageID) {
+	// Keep the placement digest incremental: XOR out the old mapping, XOR
+	// in the new. Both lookups are O(1) and allocation-free.
+	if old := m.PageOf(obj); old != NilPage {
+		m.digest ^= PlacementHash(obj, old)
+	}
+	if pg != NilPage {
+		m.digest ^= PlacementHash(obj, pg)
+	}
 	if int(obj) < len(m.where) {
 		m.where[obj] = pg
 		return

@@ -26,6 +26,7 @@ type Stats struct {
 	BufferFlushes  int // physical I/Os from the circular buffer filling
 	BeforeImageIOs int // physical I/Os logging a page's original image
 	BytesLogged    int
+	Aborts         int // transactions abandoned via Abort
 }
 
 // IOs returns the total physical logging I/Os.
@@ -42,11 +43,20 @@ type Manager struct {
 	// image has already been logged.
 	touched map[int]map[storage.PageID]struct{}
 
+	// dur, when set, receives every transaction boundary so commits and
+	// aborts become durable write-ahead-log records. Nil (the default)
+	// keeps the manager a pure accounting model.
+	dur storage.TxnLog
+
 	rec obs.Recorder // nil = uninstrumented
 }
 
 // SetRecorder installs the instrumentation hook; nil disables it.
 func (m *Manager) SetRecorder(r obs.Recorder) { m.rec = r }
+
+// SetDurable forwards transaction boundaries to a durable log; nil
+// disables forwarding.
+func (m *Manager) SetDurable(d storage.TxnLog) { m.dur = d }
 
 // NewManager creates a log manager with the given circular-buffer capacity
 // in bytes.
@@ -67,6 +77,12 @@ func (m *Manager) Begin(txn int) error {
 		return fmt.Errorf("txlog: transaction %d already open", txn)
 	}
 	m.touched[txn] = make(map[storage.PageID]struct{}, 4)
+	if m.dur != nil {
+		if err := m.dur.LogBegin(txn); err != nil {
+			delete(m.touched, txn) // the transaction never opened
+			return err
+		}
+	}
 	return nil
 }
 
@@ -109,12 +125,32 @@ func (m *Manager) Append(txn int, objSize int, pg storage.PageID) (ios int, err 
 	return ios, nil
 }
 
-// End closes transaction txn, discarding its coalescing set.
+// End commits transaction txn, discarding its coalescing set. With a
+// durable log installed, the commit record is appended (and fsynced per
+// the backend's policy) before End returns.
 func (m *Manager) End(txn int) error {
 	if _, ok := m.touched[txn]; !ok {
 		return fmt.Errorf("txlog: transaction %d not open", txn)
 	}
 	delete(m.touched, txn)
+	if m.dur != nil {
+		return m.dur.LogCommit(txn)
+	}
+	return nil
+}
+
+// Abort abandons transaction txn: its coalescing set is discarded and,
+// with a durable log installed, an abort record is appended so recovery
+// never replays its mutations.
+func (m *Manager) Abort(txn int) error {
+	if _, ok := m.touched[txn]; !ok {
+		return fmt.Errorf("txlog: transaction %d not open", txn)
+	}
+	delete(m.touched, txn)
+	m.stats.Aborts++
+	if m.dur != nil {
+		return m.dur.LogAbort(txn)
+	}
 	return nil
 }
 

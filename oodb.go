@@ -114,6 +114,43 @@ type (
 	EventCounters = obs.Counters
 )
 
+// Durability (file-backed storage) re-exports.
+type (
+	// RecoveredState summarizes a write-ahead-log replay: records found,
+	// transactions committed, mutations applied, and the rebuilt placement
+	// state with its verified digest.
+	RecoveredState = storage.RecoveredState
+	// DurableStats counts the physical I/O a persistent backend performed.
+	DurableStats = storage.DurableStats
+)
+
+// StorageBackends returns the registered storage backend names, sorted.
+// These are the values SimConfig.Backend and the CLI -backend flag accept.
+func StorageBackends() []string { return storage.BackendNames() }
+
+// HasStorageBackend reports whether name resolves in the storage backend
+// registry ("" resolves to "memory").
+func HasStorageBackend(name string) bool { return storage.HasBackend(name) }
+
+// RecoverDataDir replays the write-ahead log in a file-backend data
+// directory — for example one left behind by a crashed run — applying the
+// mutations of committed transactions and verifying the result against the
+// digest the log committed. It also scrubs the page file's frame checksums,
+// reporting (not failing on) corruption there: the WAL alone is the
+// recovery authority.
+func RecoverDataDir(dir string) (*RecoveredState, error) {
+	return storage.RecoverDir(dir, nil)
+}
+
+// WALDigestAt returns the placement digest carried by the k-th commit
+// record (0-indexed) in dir's write-ahead log: commit 0 is the database
+// construction bootstrap, run commits follow in log order. It lets a
+// crash-recovery check compare an interrupted run's recovered state
+// against the same commit point of an uninterrupted reference run.
+func WALDigestAt(dir string, k int) (uint64, error) {
+	return storage.WALDigestAt(dir, k)
+}
+
 // ReplacementPolicies returns the registered buffer replacement policy
 // names, sorted. These are the values Config.ReplacementName and the CLI
 // -repl flag accept beyond the paper's enum.

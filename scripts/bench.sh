@@ -4,7 +4,7 @@
 # the macro benchmarks (simulation throughput per scale tier, and concurrent
 # multi-session throughput/latency per client count) with -benchmem, and
 # writes the parsed results — ns/op, B/op, allocs/op, events/sec, and the
-# p50/p99/p999 latency percentiles where reported — to BENCH_7.json (or the
+# p50/p99/p999 latency percentiles where reported — to BENCH_8.json (or the
 # path given as $1). Compare two reports with:
 #   go run ./scripts/benchcmp OLD.json NEW.json
 # or gate on >10% ns/op regressions with:
@@ -25,7 +25,7 @@ if [ "${1:-}" = "-f" ]; then
     force=1
     shift
 fi
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 if [ -e "$out" ] && [ "$force" -eq 0 ]; then
     echo "bench.sh: $out already exists; pass -f to overwrite" >&2
     exit 1
@@ -49,9 +49,10 @@ fi
 
 # Macro throughput: simulated transactions and kernel events per wall-clock
 # second, per scale tier (the large tier joins when OODB_BENCH_LARGE is set),
-# plus concurrent multi-session throughput and latency per client count.
+# plus concurrent multi-session throughput and latency per client count, and
+# the real-I/O file-backend runs across fsync policies.
 if [ "$suite" != "micro" ]; then
-    { go test -run '^$' -bench 'SimThroughput|ConcurrentSessions' -benchtime "${BENCHTIME:-1s}" \
+    { go test -run '^$' -bench 'SimThroughput|ConcurrentSessions|FileBackend' -benchtime "${BENCHTIME:-1s}" \
         ./internal/engine/; echo "$?" > "$rc"; } | tee -a "$tmp"
     status="$(cat "$rc")"
     if [ "$status" -ne 0 ]; then

@@ -1,0 +1,153 @@
+// Command errscan is a stdlib-only unchecked-error scanner for the repo's
+// durability surfaces: it flags calls to error-returning cleanup and write
+// methods (Close, Sync, Flush, Write, WriteString) whose error is silently
+// discarded — as a bare expression statement or a bare defer. A dropped
+// Close or Sync on a write path is a durability bug: the data may never
+// have reached the disk and nobody will know.
+//
+// The scanner is deliberately narrow (a handful of method names, no type
+// checking) so it needs nothing outside the standard library — the verify
+// path must run without network access. A discard that is genuinely safe
+// (read-only handles, best-effort cleanup on an already-failing path) is
+// suppressed with a line comment containing "errscan:ok", which doubles as
+// in-place documentation of why the discard is sound.
+//
+// Usage: go run ./scripts/errscan [dir ...]   (default ".")
+// Exits 1 if any finding is reported.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// checkedMethods are the error-returning methods whose result must not be
+// silently dropped outside tests.
+var checkedMethods = map[string]bool{
+	"Close":       true,
+	"Sync":        true,
+	"Flush":       true,
+	"Write":       true,
+	"WriteString": true,
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	findings := 0
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || name == ".git" || strings.HasPrefix(name, "_") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			n, err := scanFile(path)
+			if err != nil {
+				return err
+			}
+			findings += n
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "errscan:", err)
+			os.Exit(2)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "errscan: %d unchecked error(s); check the error or annotate the line with // errscan:ok <reason>\n", findings)
+		os.Exit(1)
+	}
+}
+
+func scanFile(path string) (int, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	// Lines carrying an errscan:ok annotation are suppressed.
+	suppressed := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "errscan:ok") {
+				suppressed[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	findings := 0
+	report := func(call *ast.CallExpr, via string) {
+		pos := fset.Position(call.Pos())
+		if suppressed[pos.Line] {
+			return
+		}
+		sel := call.Fun.(*ast.SelectorExpr)
+		fmt.Printf("%s:%d: unchecked error from %s%s.%s()\n",
+			pos.Filename, pos.Line, via, exprString(sel.X), sel.Sel.Name)
+		findings++
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call := checkedCall(st.X); call != nil {
+				report(call, "")
+			}
+		case *ast.DeferStmt:
+			if call := checkedCall(st.Call); call != nil {
+				report(call, "defer ")
+			}
+		case *ast.GoStmt:
+			if call := checkedCall(st.Call); call != nil {
+				report(call, "go ")
+			}
+		}
+		return true
+	})
+	return findings, nil
+}
+
+// checkedCall returns e as a method call on the checked list, or nil.
+func checkedCall(e ast.Expr) *ast.CallExpr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !checkedMethods[sel.Sel.Name] {
+		return nil
+	}
+	// Method calls only: a package-qualified function like fmt.Write would
+	// need type info to distinguish, but none of the checked names exist as
+	// package functions in this repo's imports.
+	return call
+}
+
+// exprString renders simple receivers (identifiers, selectors) for the
+// finding message; anything more complex prints as "expr".
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	}
+	return "expr"
+}

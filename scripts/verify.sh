@@ -16,6 +16,9 @@ if command -v staticcheck >/dev/null 2>&1; then
 else
     echo "verify.sh: staticcheck not installed; skipping (CI runs it)" >&2
 fi
+# Unchecked-error pass: a dropped Close/Sync/Write error on the durability
+# path is a silent data-loss bug (see scripts/errscan).
+go run ./scripts/errscan
 # run_tests wraps go test: -count=1 defeats the test cache, and a "no tests
 # to run" warning fails the build — a typo'd -run pattern matches nothing,
 # exits 0, and would otherwise masquerade as green.

@@ -39,13 +39,23 @@ func ScaleTiers() []string { return engine.TierNames() }
 // instants are effectively never reached).
 func TierCheckpointable(name string) bool { return engine.TierCheckpointable(name) }
 
-// RunSimulation executes one simulation run.
+// RunSimulation executes one simulation run. Under a persistent backend
+// the engine is closed afterwards — dirty buffers flushed, the WAL
+// checkpointed — so the data directory is left recoverable; a close
+// failure is reported even when the run itself succeeded.
 func RunSimulation(cfg SimConfig) (SimResults, error) {
 	e, err := engine.New(cfg)
 	if err != nil {
 		return SimResults{}, err
 	}
-	return e.Run()
+	res, err := e.Run()
+	if cerr := e.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return SimResults{}, err
+	}
+	return res, nil
 }
 
 // Concurrent load: the wall-clock counterpart of RunSimulation. N session
@@ -70,10 +80,13 @@ func RunConcurrentLoad(cfg SimConfig, opt ConcurrentOptions) (ConcurrentResults,
 		return ConcurrentResults{}, err
 	}
 	res, err := c.Run()
-	if err != nil {
-		return ConcurrentResults{}, err
+	if err == nil {
+		err = c.CheckInvariants()
 	}
-	if err := c.CheckInvariants(); err != nil {
+	if cerr := c.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
 		return ConcurrentResults{}, err
 	}
 	return res, nil
