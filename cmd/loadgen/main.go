@@ -9,6 +9,7 @@
 //	loadgen -clients 16 -think 2ms                   # closed loop, think time
 //	loadgen -clients 16 -rate 5000                   # open loop, 5000 txn/s aggregate
 //	loadgen -clients 8 -workload ocb -ocb-dist zipf  # OCB traversal mix
+//	loadgen -clients 8 -workload ocb -ocb-rw 3       # OCB with 1 write per 3 reads
 //	loadgen -clients 16 -cpuprofile cpu.pb.gz        # profile the contention
 //
 // Closed loop (-think, the default shape) models interactive sessions: each
@@ -39,9 +40,13 @@ func main() {
 		think   = flag.Duration("think", 0, "closed loop: mean exponential think time between a client's transactions (0 = back-to-back)")
 		rate    = flag.Float64("rate", 0, "open loop: aggregate arrival rate in txn/s (overrides -think)")
 
-		wl      = flag.String("workload", "oct", "workload: oct (the paper's model) | ocb (synthetic object-base benchmark)")
-		rw      = flag.Float64("rw", 10, "oct workload: read/write ratio")
-		ocbDist = flag.String("ocb-dist", "zipf", "ocb workload: reference distribution (uniform | zipf | clustered)")
+		wl       = flag.String("workload", "oct", "workload: oct (the paper's model) | ocb (synthetic object-base benchmark)")
+		rw       = flag.Float64("rw", 10, "oct workload: read/write ratio")
+		ocbDist  = flag.String("ocb-dist", "zipf", "ocb workload: reference distribution (uniform | zipf | clustered)")
+		ocbRW    = flag.Float64("ocb-rw", 0, "ocb workload: reads per write (0 = read-only, the default)")
+		ocbTen   = flag.Int("ocb-tenants", 0, "ocb workload: tenants sharing the object base under zipf-skewed traffic (0 = single tenant)")
+		ocbSkew  = flag.Float64("ocb-skew", 0, "ocb workload: tenant zipf skew, > 1 (0 = default 2)")
+		ocbDrift = flag.Int("ocb-drift", 0, "ocb workload: working-set drift period in operations (0 = stationary)")
 
 		backend  = flag.String("backend", "", "storage backend (memory | file; default memory)")
 		dataDir  = flag.String("data-dir", "", "data directory for -backend file (write-ahead log + page file)")
@@ -74,6 +79,18 @@ func main() {
 		var err error
 		if cfg.OCB.RefDist, err = oodb.ParseOCBRefDist(*ocbDist); err != nil {
 			fatal(err)
+		}
+		if *ocbRW > 0 {
+			cfg.OCB.ReadWriteRatio = *ocbRW
+		}
+		if *ocbTen > 0 {
+			cfg.OCB.Tenants = *ocbTen
+		}
+		if *ocbSkew > 0 {
+			cfg.OCB.TenantSkew = *ocbSkew
+		}
+		if *ocbDrift > 0 {
+			cfg.OCB.DriftPeriod = *ocbDrift
 		}
 	}
 	var err error
@@ -147,6 +164,11 @@ func main() {
 			d.WALAppends, d.WALSyncs, d.WALBytes, d.PageReads, d.PageWrites, d.Committed)
 	}
 	fmt.Printf("  digest: %016x\n", res.LogicalDigest)
+	if wt := res.KindCount["ocb-insert"] + res.KindCount["ocb-delete"] +
+		res.KindCount["ocb-update"] + res.KindCount["ocb-rewire"]; wt > 0 || res.ConservationViolations > 0 {
+		fmt.Printf("  writes: ocb=%d final-state=%016x objects(live/placed)=%d/%d conserve-violations=%d\n",
+			wt, res.FinalStateDigest, res.LiveObjects, res.PlacedObjects, res.ConservationViolations)
+	}
 }
 
 // us renders a microsecond count as a duration.

@@ -53,6 +53,14 @@ func main() {
 		ocbRefs  = flag.Int("ocb-refs", 0, "ocb workload: configuration references per object (0 = default)")
 		ocbDepth = flag.Int("ocb-depth", 0, "ocb workload: traversal depth bound (0 = default)")
 		ocbScan  = flag.Int("ocb-scan", 0, "ocb workload: objects touched per set-oriented scan (0 = default)")
+		ocbRW    = flag.Float64("ocb-rw", 0, "ocb workload: reads per write (0 = read-only, the default)")
+		ocbTen   = flag.Int("ocb-tenants", 0, "ocb workload: tenants sharing the object base under zipf-skewed traffic (0 = single tenant)")
+		ocbSkew  = flag.Float64("ocb-skew", 0, "ocb workload: tenant zipf skew, > 1 (0 = default 2)")
+		ocbDrift = flag.Int("ocb-drift", 0, "ocb workload: working-set drift period in operations (0 = stationary)")
+
+		flashFactor = flag.Float64("flash-factor", 0, "flash crowd: divide every user's think time by this while it lasts (0 or <= 1 = no flash)")
+		flashAt     = flag.Int("flash-at", 0, "flash crowd: issued-transaction index it starts at")
+		flashLen    = flag.Int("flash-len", 0, "flash crowd: duration in issued transactions")
 
 		single   = flag.Bool("run", false, "run a single simulation instead of an experiment")
 		density  = flag.String("density", "med-5", "single run: low-3 | med-5 | high-10")
@@ -167,6 +175,8 @@ func main() {
 			record: *record, replay: *replay,
 			workload: *wl, ocbDist: *ocbDist,
 			ocbRefs: *ocbRefs, ocbDepth: *ocbDepth, ocbScan: *ocbScan,
+			ocbRW: *ocbRW, ocbTenants: *ocbTen, ocbSkew: *ocbSkew, ocbDrift: *ocbDrift,
+			flashFactor: *flashFactor, flashAt: *flashAt, flashLen: *flashLen,
 			backend: *backend, dataDir: *dataDir, fsync: *fsyncPol,
 		}
 		if err := s.run(); err != nil {
@@ -223,11 +233,19 @@ type singleRun struct {
 	checkpointAt       int
 	record, replay     string
 
-	workload string
-	ocbDist  string
-	ocbRefs  int
-	ocbDepth int
-	ocbScan  int
+	workload   string
+	ocbDist    string
+	ocbRefs    int
+	ocbDepth   int
+	ocbScan    int
+	ocbRW      float64
+	ocbTenants int
+	ocbSkew    float64
+	ocbDrift   int
+
+	flashFactor float64
+	flashAt     int
+	flashLen    int
 
 	backend string
 	dataDir string
@@ -266,7 +284,8 @@ func (s singleRun) config() (oodb.SimConfig, error) {
 		}
 		// Policy flags are orthogonal to tier sizing and still apply;
 		// workload-shape flags are not — the tier defines the workload.
-		for _, f := range []string{"workload", "density", "rw", "ocb-dist", "ocb-refs", "ocb-depth", "ocb-scan"} {
+		for _, f := range []string{"workload", "density", "rw", "ocb-dist", "ocb-refs", "ocb-depth", "ocb-scan",
+			"ocb-rw", "ocb-tenants", "ocb-skew", "ocb-drift"} {
 			if s.set[f] {
 				return cfg, fmt.Errorf("-tier defines the workload; -%s cannot be combined with it", f)
 			}
@@ -295,11 +314,15 @@ func (s singleRun) config() (oodb.SimConfig, error) {
 			}
 			cfg.ClusterStrategy = s.strategy
 		}
-		// Storage-backend flags apply on top of any tier; Validate rejects
-		// inconsistent combinations (e.g. -fsync without -backend file).
+		// Storage-backend and flash-crowd flags apply on top of any tier;
+		// Validate rejects inconsistent combinations (e.g. -fsync without
+		// -backend file).
 		cfg.Backend = s.backend
 		cfg.DataDir = s.dataDir
 		cfg.Fsync = s.fsync
+		cfg.FlashFactor = s.flashFactor
+		cfg.FlashAt = s.flashAt
+		cfg.FlashLen = s.flashLen
 		return cfg, nil
 	}
 	cfg = oodb.DefaultSimConfig(s.scale)
@@ -349,10 +372,25 @@ func (s singleRun) config() (oodb.SimConfig, error) {
 		if s.ocbScan > 0 {
 			cfg.OCB.ScanSample = s.ocbScan
 		}
+		if s.ocbRW > 0 {
+			cfg.OCB.ReadWriteRatio = s.ocbRW
+		}
+		if s.ocbTenants > 0 {
+			cfg.OCB.Tenants = s.ocbTenants
+		}
+		if s.ocbSkew > 0 {
+			cfg.OCB.TenantSkew = s.ocbSkew
+		}
+		if s.ocbDrift > 0 {
+			cfg.OCB.DriftPeriod = s.ocbDrift
+		}
 	}
 	cfg.Backend = s.backend
 	cfg.DataDir = s.dataDir
 	cfg.Fsync = s.fsync
+	cfg.FlashFactor = s.flashFactor
+	cfg.FlashAt = s.flashAt
+	cfg.FlashLen = s.flashLen
 	return cfg, nil
 }
 
@@ -432,6 +470,11 @@ func (s singleRun) run() (err error) {
 	}
 	fmt.Println(res.String())
 	fmt.Printf("  digest=%016x\n", res.LogicalDigest)
+	if res.WriteTxns > 0 || res.ConservationViolations > 0 || res.RatioChangesIgnored > 0 {
+		fmt.Printf("  writes=%d p99(w)=%.4fs final-state=%016x objects(live/placed)=%d/%d conserve-violations=%d ratio-ignored=%d\n",
+			res.WriteTxns, res.P99WriteResponse, res.FinalStateDigest,
+			res.LiveObjects, res.PlacedObjects, res.ConservationViolations, res.RatioChangesIgnored)
+	}
 	fmt.Printf("  mean disk util=%.3f cpu util=%.3f log-disk util=%.3f sim time=%.1fs throughput=%.2f txn/s\n",
 		res.MeanDiskUtil, res.CPUUtil, res.LogDiskUtil, res.SimTime, res.Throughput)
 	fmt.Printf("  cluster: placements=%d moves=%d splits=%d candidateIOs=%d\n",

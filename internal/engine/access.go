@@ -31,7 +31,7 @@ type AccessResult struct {
 // storage backend + buffer pool + cluster strategy + prefetch strategy +
 // log — is the default implementation.
 type AccessLayer interface {
-	Execute(txn int, req workload.Txn) (AccessResult, error)
+	Execute(txn int, req workload.Op) (AccessResult, error)
 }
 
 // stack is the default AccessLayer: the layered storage stack the paper
@@ -58,6 +58,17 @@ type stack struct {
 	ocbDepth int
 	curKind  workload.QueryKind
 
+	// sizeBytes maps payload-size classes to bytes (derived from the OCB
+	// BaseSize at construction; all-zero under OCT, where Size is always
+	// unspecified and writes keep their schema-implied sizes).
+	sizeBytes [workload.NumSizeClasses]int
+
+	// conserve counts per-write conservation violations: after every write
+	// the placed-object count must equal the live-object count (every live
+	// object occupies exactly one page slot). Zero on a correct stack; the
+	// differential oracle asserts it stays zero.
+	conserve int
+
 	// digest folds every logical read (object id and found/not-found), in
 	// execution order, into an FNV-style accumulator. For a read-only
 	// workload the execution order equals the submission order regardless of
@@ -82,18 +93,24 @@ type stack struct {
 	blockBuf  []model.ObjectID // checkout first-level components
 	leafBuf   []model.ObjectID // checkout second-level components
 
-	walkBuf []ocbFrame              // OCB simple-traversal DFS stack
-	seen    map[model.ObjectID]bool // OCB simple-traversal visited set
+	walkBuf []ocbFrame              // OCB simple-traversal / subtree-delete DFS stack
+	seen    map[model.ObjectID]bool // OCB traversal / subtree-delete visited set
+	delBuf  []model.ObjectID        // OCB subtree-delete discovery order
 }
 
 var _ AccessLayer = (*stack)(nil)
 
 // Execute implements AccessLayer.
-func (a *stack) Execute(txn int, req workload.Txn) (AccessResult, error) {
+func (a *stack) Execute(txn int, req workload.Op) (AccessResult, error) {
 	a.pendingBG = a.pendingBG[:0]
 	a.notFound = 0
 	a.curKind = req.Kind
 	ios, logical, err := a.execute(txn, req)
+	if err == nil && req.Kind.IsWrite() && a.store.NumPlaced() != a.graph.NumObjects() {
+		// Per-write conservation: every live object occupies exactly one
+		// page slot. Both counts are O(1), so checking every write is free.
+		a.conserve++
+	}
 	return AccessResult{
 		IOs:        ios,
 		Background: a.pendingBG,

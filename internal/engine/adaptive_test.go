@@ -68,20 +68,20 @@ func TestAdaptiveObserve(t *testing.T) {
 func TestLockSetMapping(t *testing.T) {
 	cases := []struct {
 		name string
-		req  workload.Txn
+		req  workload.Op
 		want []lockRequest
 	}{
-		{"read", workload.Txn{Kind: workload.QComponentRetrieval, Target: 5},
+		{"read", workload.Op{Kind: workload.QComponentRetrieval, Target: 5},
 			[]lockRequest{{5, lock.Shared}}},
-		{"update", workload.Txn{Kind: workload.QUpdate, Target: 5},
+		{"update", workload.Op{Kind: workload.QUpdate, Target: 5},
 			[]lockRequest{{5, lock.Exclusive}}},
-		{"insert", workload.Txn{Kind: workload.QInsert, AttachTo: 9},
+		{"insert", workload.Op{Kind: workload.QInsert, AttachTo: 9},
 			[]lockRequest{{9, lock.Exclusive}}},
-		{"struct-update sorted", workload.Txn{Kind: workload.QStructUpdate, Target: 9, AttachTo: 3},
+		{"struct-update sorted", workload.Op{Kind: workload.QStructUpdate, Target: 9, AttachTo: 3},
 			[]lockRequest{{3, lock.Exclusive}, {9, lock.Exclusive}}},
-		{"scan", workload.Txn{Kind: workload.QScan, Scan: []model.ObjectID{4, 2, 4}},
+		{"scan", workload.Op{Kind: workload.QScan, Targets: []model.ObjectID{4, 2, 4}},
 			[]lockRequest{{2, lock.Shared}, {4, lock.Shared}}},
-		{"derive", workload.Txn{Kind: workload.QDerive, Target: 7},
+		{"derive", workload.Op{Kind: workload.QDerive, Target: 7},
 			[]lockRequest{{7, lock.Exclusive}}},
 	}
 	for _, c := range cases {
@@ -98,7 +98,7 @@ func TestLockSetMapping(t *testing.T) {
 		}
 	}
 	// Self re-link: the stronger mode wins on the merged entry.
-	got := lockSet(workload.Txn{Kind: workload.QStructUpdate, Target: 4, AttachTo: 4})
+	got := lockSet(workload.Op{Kind: workload.QStructUpdate, Target: 4, AttachTo: 4})
 	if len(got) != 1 || got[0].mode != lock.Exclusive {
 		t.Fatalf("merged lock set: %v", got)
 	}

@@ -31,9 +31,12 @@ import (
 // the workload-family tag, the OCB generator state, and the logical-read
 // digest. Version 3 added the scale mechanics (reservoir tally state and
 // the StatsReservoir configuration field, which changes every fingerprint).
-// Older checkpoints no longer load; they fail with the typed
-// checkpoint.ErrVersion rather than a misleading fingerprint mismatch.
-const CheckpointVersion = 3
+// Version 4 added the write pipeline: the OCB generator state grew write
+// operation counters and object-base tails, and the engine state grew the
+// conservation and ignored-ratio-change counters. Older checkpoints no
+// longer load; they fail with the typed checkpoint.ErrVersion rather than a
+// misleading fingerprint mismatch.
+const CheckpointVersion = 4
 
 // checkpointKind tags engine checkpoints inside the shared envelope.
 const checkpointKind = "engine-checkpoint"
@@ -69,24 +72,26 @@ type MetricsState struct {
 	PerKindIOs   [workload.NumQueryKinds]int
 	PerKindResp  [workload.NumQueryKinds]stats.TallyState
 
-	Warmup   int
-	Skipped  int
-	NotFound int
+	Warmup       int
+	Skipped      int
+	NotFound     int
+	RatioIgnored int
 }
 
 func (m *Metrics) snapshot() MetricsState {
 	st := MetricsState{
-		RespAll:    m.respAll.Snapshot(),
-		RespRead:   m.respRead.Snapshot(),
-		RespWrite:  m.respWrite.Snapshot(),
-		LogicalOps: m.logicalOps,
-		PhysReads:  m.physReads,
-		PhysWrites: m.physWrites,
-		LogWrites:  m.logWrites,
-		BgReads:    m.bgReads,
-		Warmup:     m.warmup,
-		Skipped:    m.skipped,
-		NotFound:   m.notFound,
+		RespAll:      m.respAll.Snapshot(),
+		RespRead:     m.respRead.Snapshot(),
+		RespWrite:    m.respWrite.Snapshot(),
+		LogicalOps:   m.logicalOps,
+		PhysReads:    m.physReads,
+		PhysWrites:   m.physWrites,
+		LogWrites:    m.logWrites,
+		BgReads:      m.bgReads,
+		Warmup:       m.warmup,
+		Skipped:      m.skipped,
+		NotFound:     m.notFound,
+		RatioIgnored: m.ratioIgnored,
 	}
 	st.PerKindCount = m.perKindCount
 	st.PerKindIOs = m.perKindIOs
@@ -121,6 +126,7 @@ func (m *Metrics) restore(st MetricsState) error {
 	m.warmup = st.Warmup
 	m.skipped = st.Skipped
 	m.notFound = st.NotFound
+	m.ratioIgnored = st.RatioIgnored
 	return nil
 }
 
@@ -187,8 +193,10 @@ type Checkpoint struct {
 	Metrics  MetricsState
 
 	// Digest is the access layer's logical-read digest at the quiescent
-	// point.
-	Digest uint64
+	// point; Conserve is its conservation-violation count (zero on a
+	// correct stack).
+	Digest   uint64
+	Conserve int
 
 	HasAdapt bool
 	Adapt    AdaptiveSnapshot
@@ -323,6 +331,7 @@ func (e *Engine) Snapshot() (*Checkpoint, error) {
 		Log:         logSt,
 		Metrics:     e.metrics.snapshot(),
 		Digest:      st.digest,
+		Conserve:    st.conserve,
 		NameSeq:     st.nameSeq,
 		TxnSeq:      e.txnSeq,
 		Issued:      e.issued,
@@ -453,6 +462,7 @@ func (e *Engine) restore(ck *Checkpoint) error {
 		return fmt.Errorf("workload source %T does not support checkpointing", e.gen)
 	}
 	st.digest = ck.Digest
+	st.conserve = ck.Conserve
 	if err := e.metrics.restore(ck.Metrics); err != nil {
 		return err
 	}

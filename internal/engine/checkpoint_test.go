@@ -122,6 +122,70 @@ func TestCheckpointResumeIdentityWirings(t *testing.T) {
 	}
 }
 
+// TestCheckpointResumePhasedWriteRatioOCB: a write-enabled OCB stream whose
+// read/write ratio shifts mid-run through PhasedRW must checkpoint and
+// resume byte-identically. The resume positions straddle the phase
+// boundaries, so the restored generator tail must carry the mid-run ratio
+// state (Counts, RNG position, object-base tail) exactly.
+func TestCheckpointResumePhasedWriteRatioOCB(t *testing.T) {
+	cfg := quickConfig(300)
+	cfg.Workload = WorkloadOCB
+	cfg.OCB.ReadWriteRatio = 4
+	cfg.PhasedRW = []float64{8, 1.5, 30}
+
+	baseline := run(t, cfg)
+	if baseline.WriteTxns == 0 {
+		t.Fatal("phased write-enabled OCB run produced no writes")
+	}
+	if baseline.RatioChangesIgnored != 0 {
+		t.Fatalf("write-enabled OCB generator refused %d ratio changes",
+			baseline.RatioChangesIgnored)
+	}
+
+	for _, k := range []int{60, 150, 280} {
+		checkResumeIdentity(t, cfg, k)
+	}
+}
+
+// TestPhasedRatioRefusedByReadOnlyOCB: a read-only OCB stream cannot honor
+// phased ratio changes; the refusal must be surfaced in the results, not
+// silently dropped.
+func TestPhasedRatioRefusedByReadOnlyOCB(t *testing.T) {
+	cfg := quickConfig(200)
+	cfg.Workload = WorkloadOCB
+	cfg.PhasedRW = []float64{2, 60}
+	res := run(t, cfg)
+	if res.RatioChangesIgnored == 0 {
+		t.Fatal("read-only OCB stream silently accepted phased ratio changes")
+	}
+	if res.WriteTxns != 0 {
+		t.Fatalf("read-only OCB stream executed %d writes", res.WriteTxns)
+	}
+}
+
+// TestPhasedWriteRatioShiftsOCBMix: the phased ratio must actually steer the
+// write-enabled OCB generator — a run whose second phase is write-heavy
+// completes more writes than the same run held at the read-heavy ratio.
+func TestPhasedWriteRatioShiftsOCBMix(t *testing.T) {
+	flat := quickConfig(400)
+	flat.Workload = WorkloadOCB
+	flat.OCB.ReadWriteRatio = 20
+
+	phased := flat
+	phased.PhasedRW = []float64{20, 0.25}
+
+	flatRes := run(t, flat)
+	phasedRes := run(t, phased)
+	if phasedRes.RatioChangesIgnored != 0 {
+		t.Fatalf("write-enabled generator refused %d ratio changes",
+			phasedRes.RatioChangesIgnored)
+	}
+	if phasedRes.WriteTxns <= flatRes.WriteTxns {
+		t.Fatalf("write-heavy phase had no effect: phased %d writes <= flat %d",
+			phasedRes.WriteTxns, flatRes.WriteTxns)
+	}
+}
+
 func TestCheckpointRequiresProgress(t *testing.T) {
 	cfg := quickConfig(50)
 	e, err := New(cfg)
@@ -307,7 +371,7 @@ func TestTraceRecordCountsAllTransactions(t *testing.T) {
 	}
 	n := 0
 	for {
-		var txn workload.Txn
+		var txn workload.Op
 		if err := r.Next(&txn); err != nil {
 			break
 		}

@@ -285,8 +285,11 @@ func NewConcurrent(cfg Config, opt ConcurrentOptions) (*Concurrent, error) {
 
 	_, boostContext := policies[0].(*core.ContextPolicy)
 	ocbDepth := 0
+	var sizeTable [workload.NumSizeClasses]int
 	if base != nil {
-		ocbDepth = cfg.OCB.WithDefaults().Depth
+		p := cfg.OCB.WithDefaults()
+		ocbDepth = p.Depth
+		sizeTable = ocbSizeTable(p.BaseSize)
 	}
 	c.sessions = make([]*csession, opt.Sessions)
 	for i := range c.sessions {
@@ -319,6 +322,7 @@ func NewConcurrent(cfg Config, opt ConcurrentOptions) (*Concurrent, error) {
 				boostContext: boostContext,
 				boostLimit:   cfg.ContextBoostLimit,
 				ocbDepth:     ocbDepth,
+				sizeBytes:    sizeTable,
 				digest:       digestOffset,
 				// Distinct name spaces for created objects across sessions.
 				nameSeq: i << 32,
@@ -425,6 +429,7 @@ func (c *Concurrent) Run() (ConcurrentResults, error) {
 		// one session this is that session's digest, directly comparable to
 		// the serial run's.
 		r.LogicalDigest ^= cs.stack.digest
+		r.ConservationViolations += cs.stack.conserve
 		r.Completed += cs.completed
 		r.LogicalOps += cs.logical
 		r.NotFoundReads += cs.notFound
@@ -440,6 +445,9 @@ func (c *Concurrent) Run() (ConcurrentResults, error) {
 			}
 		}
 	}
+	r.FinalStateDigest = finalStateDigest(c.graph)
+	r.LiveObjects = c.graph.NumObjects()
+	r.PlacedObjects = c.store.NumPlaced()
 	if sec := elapsed.Seconds(); sec > 0 {
 		r.Throughput = float64(r.Completed) / sec
 	}
@@ -525,9 +533,11 @@ func (c *Concurrent) runSession(cs *csession, start time.Time) {
 // execute runs one transaction end to end: draw, lock, execute, release.
 func (c *Concurrent) execute(cs *csession, txn int) error {
 	// Drawing the request reads the target indexes (which writers append
-	// to via NoteCreated) and the graph, so it happens under the read
-	// guard. The OCB base is immutable at run time, but the uniform rule
-	// costs nothing and leaves nothing to re-derive.
+	// to via NoteCreated, under the exclusive guard) and the graph, so it
+	// happens under the read guard. Under a write-enabled OCB stream the
+	// base genuinely mutates at run time — every session's generator
+	// appends its inserts to the shared creation order, so sessions can
+	// target each other's objects.
 	c.mu.RLock()
 	req := cs.stack.gen.Next()
 	c.mu.RUnlock()
@@ -625,6 +635,18 @@ type ConcurrentResults struct {
 	// session it equals the serial engine's LogicalDigest for the same
 	// configuration — the cross-engine oracle invariant.
 	LogicalDigest uint64
+	// FinalStateDigest folds the end-of-run logical database (see the
+	// serial Results field). With one session on a write-enabled stream it
+	// equals the serial engine's — the write-path cross-engine invariant.
+	FinalStateDigest uint64
+	// ConservationViolations sums the per-session conservation counters
+	// (placed-object count vs live-object count after every write; must be
+	// zero).
+	ConservationViolations int
+	// LiveObjects and PlacedObjects expose the end-of-run counts behind the
+	// conservation invariant.
+	LiveObjects   int
+	PlacedObjects int
 
 	// Durability reports the real physical I/O a persistent backend
 	// performed (zero value under the in-memory backend).

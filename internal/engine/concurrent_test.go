@@ -72,6 +72,73 @@ func TestConcurrentSerialDigestOCB(t *testing.T) {
 	}
 }
 
+// TestConcurrentSerialDigestOCBWrites: the cross-engine oracle over a
+// write-enabled OCB stream. With one session and locking disabled, the
+// concurrent engine executes the serial engine's exact transaction stream
+// synchronously, so both the logical-read digest and the final logical
+// database must match — and both engines must conserve placement
+// (every live object on exactly one page) after every write.
+func TestConcurrentSerialDigestOCBWrites(t *testing.T) {
+	cfg := quickOCBConfig(400)
+	cfg.OCB.ReadWriteRatio = 2
+	cfg.Locking = false
+	cfg.Users = 1
+	cfg.Warmup = 0
+
+	serial := runOCB(t, cfg)
+	conc := runConcurrent(t, cfg, ConcurrentOptions{Sessions: 1})
+
+	if serial.WriteTxns == 0 {
+		t.Fatal("write-enabled OCB run completed no writes")
+	}
+	if serial.LogicalDigest != conc.LogicalDigest {
+		t.Fatalf("logical digest diverged: serial %016x, concurrent %016x",
+			serial.LogicalDigest, conc.LogicalDigest)
+	}
+	if serial.FinalStateDigest != conc.FinalStateDigest {
+		t.Fatalf("final-state digest diverged: serial %016x, concurrent %016x",
+			serial.FinalStateDigest, conc.FinalStateDigest)
+	}
+	if serial.ConservationViolations != 0 || conc.ConservationViolations != 0 {
+		t.Fatalf("conservation violations: serial %d, concurrent %d",
+			serial.ConservationViolations, conc.ConservationViolations)
+	}
+	if serial.LiveObjects != serial.PlacedObjects {
+		t.Fatalf("serial run ended with %d live but %d placed objects",
+			serial.LiveObjects, serial.PlacedObjects)
+	}
+	if conc.LiveObjects != conc.PlacedObjects {
+		t.Fatalf("concurrent run ended with %d live but %d placed objects",
+			conc.LiveObjects, conc.PlacedObjects)
+	}
+	if serial.Completed != conc.Completed || serial.LogicalOps != conc.LogicalOps {
+		t.Fatalf("counts diverged: serial %d/%d, concurrent %d/%d",
+			serial.Completed, serial.LogicalOps, conc.Completed, conc.LogicalOps)
+	}
+}
+
+// TestConcurrentManyWriteSessions: a real multi-session write-enabled run.
+// Interleaving is nondeterministic, so only the invariants are asserted:
+// every transaction completes, placement is conserved at end of run, and
+// the shared structures pass their invariants.
+func TestConcurrentManyWriteSessions(t *testing.T) {
+	cfg := quickOCBConfig(600)
+	cfg.OCB.ReadWriteRatio = 2
+	res := runConcurrent(t, cfg, ConcurrentOptions{Sessions: 8})
+	if res.Completed != cfg.Transactions {
+		t.Fatalf("completed %d transactions, want %d", res.Completed, cfg.Transactions)
+	}
+	if res.ConservationViolations != 0 {
+		t.Fatalf("%d conservation violations under concurrent writes", res.ConservationViolations)
+	}
+	if res.LiveObjects != res.PlacedObjects {
+		t.Fatalf("run ended with %d live but %d placed objects", res.LiveObjects, res.PlacedObjects)
+	}
+	if res.FinalStateDigest == 0 {
+		t.Fatal("zero final-state digest")
+	}
+}
+
 // TestConcurrentManySessions drives a real multi-session run end to end on
 // both workload families and checks the global accounting: every issued
 // transaction completes exactly once, the latency distribution covers every

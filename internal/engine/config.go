@@ -154,6 +154,23 @@ type Config struct {
 	// read/write mix is observed (default 200).
 	AdaptiveWindow int
 
+	// --- Hostile traffic shapes ---
+
+	// FlashFactor, when > 1, enables a flash crowd: while the issued
+	// transaction count is in [FlashAt, FlashAt+FlashLen), every user's mean
+	// think time is divided by FlashFactor — the whole population converges
+	// on the system at once (think-time collapse). Zero (or <= 1) disables
+	// the flash; runs without one are byte-identical to the pre-flash
+	// engine. The OCB-side hostile shapes (multi-tenant zipf skew, working-
+	// set drift) live in ocb.Params; this is the engine-side one.
+	FlashFactor float64
+	// FlashAt is the issued-transaction index at which the flash crowd
+	// begins (meaningful only when FlashFactor > 1).
+	FlashAt int
+	// FlashLen is the flash crowd's duration in issued transactions
+	// (required positive when FlashFactor > 1).
+	FlashLen int
+
 	// --- Ablation knobs (DESIGN.md design-choice studies) ---
 
 	// ContextBoostLimit bounds the related pages the context-sensitive
@@ -293,6 +310,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: Record and Replay are mutually exclusive")
 	case c.StatsReservoir < 0:
 		return fmt.Errorf("engine: StatsReservoir must be non-negative")
+	case c.FlashFactor < 0:
+		return fmt.Errorf("engine: FlashFactor must be non-negative")
+	case c.FlashFactor > 1 && c.FlashLen <= 0:
+		return fmt.Errorf("engine: FlashFactor > 1 requires a positive FlashLen")
+	case c.FlashFactor > 1 && c.FlashAt < 0:
+		return fmt.Errorf("engine: FlashAt must be non-negative")
+	case c.FlashFactor <= 1 && (c.FlashAt != 0 || c.FlashLen != 0):
+		return fmt.Errorf("engine: FlashAt/FlashLen are only meaningful with FlashFactor > 1")
 	}
 	switch c.Calendar {
 	case "", sim.CalendarHeap, sim.CalendarWheel:

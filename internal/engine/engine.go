@@ -211,7 +211,10 @@ func New(cfg Config) (*Engine, error) {
 		digest:       digestOffset,
 	}
 	if base != nil {
-		e.access.(*stack).ocbDepth = cfg.OCB.WithDefaults().Depth
+		p := cfg.OCB.WithDefaults()
+		st := e.access.(*stack)
+		st.ocbDepth = p.Depth
+		st.sizeBytes = ocbSizeTable(p.BaseSize)
 	}
 	e.metrics.init(cfg)
 
@@ -352,8 +355,21 @@ func (e *Engine) start() {
 	e.think = e.sim.Stream("think")
 	e.users = make([]UserState, e.cfg.Users)
 	for u := range e.users {
-		e.scheduleWake(u, sim.Exp(e.think, e.cfg.ThinkTime))
+		e.scheduleWake(u, sim.Exp(e.think, e.thinkMean()))
 	}
+}
+
+// thinkMean is the current mean think time. During a configured flash crowd
+// — transactions [FlashAt, FlashAt+FlashLen) — every user's think time
+// collapses by FlashFactor, modeling the whole population converging on the
+// system at once. The draw count is unchanged (one exponential per wake), so
+// a run with no flash configured is byte-identical to the pre-flash engine.
+func (e *Engine) thinkMean() float64 {
+	if e.cfg.FlashFactor > 1 && e.cfg.FlashLen > 0 &&
+		e.issued >= e.cfg.FlashAt && e.issued < e.cfg.FlashAt+e.cfg.FlashLen {
+		return e.cfg.ThinkTime / e.cfg.FlashFactor
+	}
+	return e.cfg.ThinkTime
 }
 
 // scheduleWake schedules user u's next wake after delay, recording the
@@ -388,7 +404,7 @@ func (e *Engine) wakeUser(u int) {
 	e.users[u].Remaining--
 	e.startTxn(func() {
 		e.completed++
-		e.scheduleWake(u, sim.Exp(e.think, e.cfg.ThinkTime))
+		e.scheduleWake(u, sim.Exp(e.think, e.thinkMean()))
 	})
 }
 
@@ -397,9 +413,9 @@ func (e *Engine) wakeUser(u int) {
 // recorder when recording). Replayed scan lists are copied out of the
 // reader's scratch buffer — the request outlives this call when the
 // transaction queues on locks.
-func (e *Engine) nextTxn() (workload.Txn, error) {
+func (e *Engine) nextTxn() (workload.Op, error) {
 	if e.replay != nil {
-		var t workload.Txn
+		var t workload.Op
 		switch err := e.replay.Next(&t); {
 		case errors.Is(err, io.EOF):
 			return t, fmt.Errorf("engine: trace exhausted after %d transactions (run needs %d)",
@@ -407,8 +423,8 @@ func (e *Engine) nextTxn() (workload.Txn, error) {
 		case err != nil:
 			return t, err
 		}
-		if len(t.Scan) > 0 {
-			t.Scan = append([]model.ObjectID(nil), t.Scan...)
+		if len(t.Targets) > 0 {
+			t.Targets = append([]model.ObjectID(nil), t.Targets...)
 		}
 		return t, nil
 	}
@@ -431,7 +447,12 @@ func (e *Engine) startTxn(done func()) {
 	e.txnSeq++
 	if e.adapt != nil {
 		if rw := e.adapt.phaseRatio(txn); rw > 0 {
-			e.gen.SetReadWriteRatio(rw)
+			if !e.gen.SetReadWriteRatio(rw) {
+				// The source cannot honor the requested mix (e.g. a read-only
+				// OCB stream); surface the refusal instead of silently
+				// pretending the phase took effect.
+				e.metrics.ratioIgnored++
+			}
 		}
 	}
 	req, err := e.nextTxn()
@@ -459,7 +480,7 @@ func (e *Engine) startTxn(done func()) {
 }
 
 // runLocked executes a transaction that holds its locks.
-func (e *Engine) runLocked(txn int, req workload.Txn, t0 sim.Time, done func()) {
+func (e *Engine) runLocked(txn int, req workload.Op, t0 sim.Time, done func()) {
 	if err := e.log.Begin(txn); err != nil {
 		e.fail(err)
 		return

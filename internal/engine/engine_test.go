@@ -327,6 +327,7 @@ func TestAllQueryKindsExecuted(t *testing.T) {
 
 	ocbCfg := quickConfig(800)
 	ocbCfg.Workload = WorkloadOCB
+	ocbCfg.OCB.ReadWriteRatio = 3 // enable the OCB write kinds
 	e2, err := New(ocbCfg)
 	if err != nil {
 		t.Fatal(err)

@@ -17,7 +17,7 @@ import (
 // work — dispatched to the disks for queueing load but not serialized into
 // the transaction's response path, the asynchrony that makes
 // prefetch-within-database worth its extra I/Os (Section 5.2).
-func (a *stack) execute(txn int, req workload.Txn) (ios []core.PhysIO, logical int, err error) {
+func (a *stack) execute(txn int, req workload.Op) (ios []core.PhysIO, logical int, err error) {
 	switch req.Kind {
 	case workload.QSimpleLookup:
 		return a.readClosure(req.Target, nil)
@@ -63,6 +63,14 @@ func (a *stack) execute(txn int, req workload.Txn) (ios []core.PhysIO, logical i
 		return a.execOCBHierarchy(req)
 	case workload.QOCBStochastic:
 		return a.execOCBPath(req)
+	case workload.QOCBInsert:
+		return a.execOCBInsert(txn, req)
+	case workload.QOCBDelete:
+		return a.execOCBDelete(txn, req)
+	case workload.QOCBUpdate:
+		return a.execOCBUpdate(txn, req)
+	case workload.QOCBRewire:
+		return a.execOCBRewire(txn, req)
 	}
 	return nil, 0, fmt.Errorf("engine: unknown query kind %v", req.Kind)
 }
@@ -190,7 +198,7 @@ func (a *stack) finishPlacement(txn int, o *model.Object, pl core.Placement, ios
 	return ios, nil
 }
 
-func (a *stack) execInsert(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+func (a *stack) execInsert(txn int, req workload.Op) ([]core.PhysIO, int, error) {
 	parent := req.AttachTo
 	ios, err := a.readObject(nil, parent, true, true)
 	if err != nil {
@@ -228,7 +236,7 @@ func (a *stack) execInsert(txn int, req workload.Txn) ([]core.PhysIO, int, error
 	return ios, 2, nil
 }
 
-func (a *stack) execUpdate(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+func (a *stack) execUpdate(txn int, req workload.Op) ([]core.PhysIO, int, error) {
 	ios, err := a.readObject(nil, req.Target, true, true)
 	if err != nil {
 		return nil, 0, err
@@ -251,7 +259,7 @@ func (a *stack) execUpdate(txn int, req workload.Txn) ([]core.PhysIO, int, error
 // execStructUpdate re-links Target under AttachTo (or detaches it if the
 // link already exists) and runs the run-time reclustering algorithm on the
 // restructured object.
-func (a *stack) execStructUpdate(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+func (a *stack) execStructUpdate(txn int, req workload.Op) ([]core.PhysIO, int, error) {
 	ios, err := a.readObject(nil, req.Target, true, true)
 	if err != nil {
 		return nil, 0, err
@@ -312,22 +320,22 @@ func (a *stack) execStructUpdate(txn int, req workload.Txn) ([]core.PhysIO, int,
 // execScan performs a batch-tool sweep: every target is read without
 // prefetching and without asserting structural relevance to the buffer
 // manager.
-func (a *stack) execScan(req workload.Txn) ([]core.PhysIO, int, error) {
+func (a *stack) execScan(req workload.Op) ([]core.PhysIO, int, error) {
 	var ios []core.PhysIO
 	var err error
-	for _, id := range req.Scan {
+	for _, id := range req.Targets {
 		if ios, err = a.readObject(ios, id, false, false); err != nil {
 			return nil, 0, err
 		}
 	}
-	return ios, len(req.Scan), nil
+	return ios, len(req.Targets), nil
 }
 
 // execCheckout materializes the full two-level hierarchy under Target: the
 // root, every component, and every component's component — the expensive
 // "loading a large object hierarchy into memory" the paper's introduction
 // motivates. Prefetching fires per touched composite.
-func (a *stack) execCheckout(req workload.Txn) ([]core.PhysIO, int, error) {
+func (a *stack) execCheckout(req workload.Op) ([]core.PhysIO, int, error) {
 	ios, err := a.readObject(nil, req.Target, true, true)
 	if err != nil {
 		return nil, 0, err
@@ -365,7 +373,7 @@ func (a *stack) execCheckout(req workload.Txn) ([]core.PhysIO, int, error) {
 // and the graph unlinks it. Objects that still anchor structure cannot be
 // deleted; the transaction degrades to a plain update, the way a real tool
 // would fail the delete and fall back to marking the object obsolete.
-func (a *stack) execDelete(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+func (a *stack) execDelete(txn int, req workload.Op) ([]core.PhysIO, int, error) {
 	o := a.graph.Object(req.Target)
 	if o == nil {
 		// Deleted by an earlier transaction between generation and
@@ -398,7 +406,7 @@ func (a *stack) execDelete(txn int, req workload.Txn) ([]core.PhysIO, int, error
 }
 
 // execDerive checks in a new version of Target.
-func (a *stack) execDerive(txn int, req workload.Txn) ([]core.PhysIO, int, error) {
+func (a *stack) execDerive(txn int, req workload.Op) ([]core.PhysIO, int, error) {
 	ios, err := a.readObject(nil, req.Target, true, true)
 	if err != nil {
 		return nil, 0, err

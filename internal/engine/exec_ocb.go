@@ -1,16 +1,19 @@
 package engine
 
 import (
+	"fmt"
+
 	"oodb/internal/core"
 	"oodb/internal/model"
 	"oodb/internal/obs"
 	"oodb/internal/ocb"
+	"oodb/internal/storage"
 	"oodb/internal/workload"
 )
 
 // OCB operation execution. All four kinds are reads: set-oriented scans
 // share execScan (exec.go), the three traversal kinds live here. Scans and
-// stochastic walks arrive with their target lists pre-resolved in Txn.Scan;
+// stochastic walks arrive with their target lists pre-resolved in Txn.Targets;
 // simple and hierarchy traversals expand deterministically from Txn.Target
 // over the immutable object graph, so all four replay byte-identically from
 // a recorded trace.
@@ -50,7 +53,7 @@ func (a *stack) foldRead(id model.ObjectID, found bool) {
 // noteOCBAccess attributes one buffer access to the in-flight OCB operation
 // kind. No-op when uninstrumented or when an OCT kind is executing.
 func (a *stack) noteOCBAccess(hit bool) {
-	if a.rec == nil || a.curKind < workload.QOCBScan || a.curKind > workload.QOCBStochastic {
+	if a.rec == nil || a.curKind < workload.QOCBScan || a.curKind > workload.QOCBRewire {
 		return
 	}
 	i := int(a.curKind - workload.QOCBScan)
@@ -64,17 +67,19 @@ func (a *stack) noteOCBAccess(hit bool) {
 // ocbHit/ocbIO map an OCB kind offset to its per-kind obs counters.
 var ocbHit = [ocb.NumOps]obs.Event{
 	obs.OCBScanHit, obs.OCBSimpleHit, obs.OCBHierarchyHit, obs.OCBStochasticHit,
+	obs.OCBInsertHit, obs.OCBDeleteHit, obs.OCBUpdateHit, obs.OCBRewireHit,
 }
 
 var ocbIO = [ocb.NumOps]obs.Event{
 	obs.OCBScanIO, obs.OCBSimpleIO, obs.OCBHierarchyIO, obs.OCBStochasticIO,
+	obs.OCBInsertIO, obs.OCBDeleteIO, obs.OCBUpdateIO, obs.OCBRewireIO,
 }
 
 // execOCBSimple performs a depth-bounded DFS along configuration references
 // from the target — OCB's simple traversal. The expansion order (slice
 // order, depth-first) is deterministic, and the visited set keeps shared
 // subobjects from being re-read.
-func (a *stack) execOCBSimple(req workload.Txn) ([]core.PhysIO, int, error) {
+func (a *stack) execOCBSimple(req workload.Op) ([]core.PhysIO, int, error) {
 	ios, err := a.readObject(nil, req.Target, true, true)
 	if err != nil {
 		return nil, 0, err
@@ -121,7 +126,7 @@ func (a *stack) execOCBSimple(req workload.Txn) ([]core.PhysIO, int, error) {
 
 // execOCBHierarchy walks the inheritance chain upward from the target —
 // OCB's hierarchy traversal, following the links version derivation created.
-func (a *stack) execOCBHierarchy(req workload.Txn) ([]core.PhysIO, int, error) {
+func (a *stack) execOCBHierarchy(req workload.Op) ([]core.PhysIO, int, error) {
 	var ios []core.PhysIO
 	var err error
 	logical := 0
@@ -143,13 +148,296 @@ func (a *stack) execOCBHierarchy(req workload.Txn) ([]core.PhysIO, int, error) {
 // execOCBPath reads the pre-resolved stochastic-traversal path in order.
 // Prefetching fires on the walk's root, matching the navigation semantics of
 // the OCT read queries.
-func (a *stack) execOCBPath(req workload.Txn) ([]core.PhysIO, int, error) {
+func (a *stack) execOCBPath(req workload.Op) ([]core.PhysIO, int, error) {
 	var ios []core.PhysIO
 	var err error
-	for i, id := range req.Scan {
+	for i, id := range req.Targets {
 		if ios, err = a.readObject(ios, id, i == 0, true); err != nil {
 			return nil, 0, err
 		}
 	}
-	return ios, len(req.Scan), nil
+	return ios, len(req.Targets), nil
+}
+
+// ocbSizeTable derives the payload-size-class byte table from the OCB mean
+// object size: small is half the base, medium the base, large one and a
+// half, floored at 32 bytes so a tiny scaled base still yields distinct
+// placeable sizes. SizeUnspecified stays zero (= keep the current size).
+func ocbSizeTable(baseSize int) [workload.NumSizeClasses]int {
+	t := [workload.NumSizeClasses]int{
+		workload.SizeSmall:  baseSize / 2,
+		workload.SizeMedium: baseSize,
+		workload.SizeLarge:  baseSize * 3 / 2,
+	}
+	for c := workload.SizeSmall; c < workload.NumSizeClasses; c++ {
+		if t[c] < 32 {
+			t[c] = 32
+		}
+	}
+	return t
+}
+
+// sizeFor maps an operation's payload-size class to bytes, falling back to
+// cur when the class is unspecified or the stack has no size table (OCT).
+func (a *stack) sizeFor(c workload.SizeClass, cur int) int {
+	if c == workload.SizeUnspecified || a.sizeBytes[c] == 0 {
+		return cur
+	}
+	return a.sizeBytes[c]
+}
+
+// execOCBInsert creates a new instance of the pre-drawn class, reads and
+// wires the pre-drawn reference targets (the new object is the composite;
+// references point backwards in creation order, keeping the configuration
+// graph acyclic), places it through the clustering policy under test, and
+// journals every dirtied page. The source learns the new object via
+// NoteCreated, so later operations can target it.
+func (a *stack) execOCBInsert(txn int, req workload.Op) ([]core.PhysIO, int, error) {
+	var ios []core.PhysIO
+	var err error
+	logical := 0
+	for i, id := range req.Targets {
+		if ios, err = a.readObject(ios, id, i == 0, true); err != nil {
+			return nil, 0, err
+		}
+		logical++
+	}
+	a.nameSeq++
+	o, err := a.graph.NewObject(fmt.Sprintf("n%d", a.nameSeq), 1, req.NewType)
+	if err != nil {
+		return nil, 0, err
+	}
+	o.Size = a.sizeFor(req.Size, o.Size)
+	for _, id := range req.Targets {
+		if a.graph.Object(id) == nil {
+			continue // deleted between generation and execution
+		}
+		if err := a.graph.Attach(o.ID, id); err != nil && err != model.ErrDuplicateLink {
+			return nil, 0, err
+		}
+	}
+	pl, err := a.clust.PlaceNew(o)
+	if err != nil {
+		return nil, 0, err
+	}
+	if ios, err = a.finishPlacement(txn, o, pl, ios); err != nil {
+		return nil, 0, err
+	}
+	// Each reference target gained a composite backlink.
+	for _, id := range req.Targets {
+		to := a.graph.Object(id)
+		if to == nil {
+			continue
+		}
+		pg := a.store.PageOf(id)
+		if ios, err = a.ensureDirty(ios, pg); err != nil {
+			return nil, 0, err
+		}
+		if ios, err = a.logAppend(ios, txn, to.Size, pg); err != nil {
+			return nil, 0, err
+		}
+	}
+	a.gen.NoteCreated(o.ID, o.Type)
+	return ios, logical + 1, nil
+}
+
+// execOCBDelete dismantles the configuration subtree under the target,
+// bottom-up: members are collected in a bounded DFS (each one read — a
+// delete touches what it removes), then deleted in reverse discovery order
+// so components go before their composites. Members that still anchor
+// structure are skipped: version ancestors (live Descendants), objects
+// whose components survived, and objects shared with composites outside
+// the subtree. If nothing is deletable the operation degrades to marking
+// the root obsolete — a plain logged update — like a real tool failing the
+// delete.
+func (a *stack) execOCBDelete(txn int, req workload.Op) ([]core.PhysIO, int, error) {
+	if a.graph.Object(req.Target) == nil {
+		a.notFound++
+		a.foldRead(req.Target, false)
+		return nil, 1, nil
+	}
+	ios, err := a.readObject(nil, req.Target, true, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	logical := 1
+	if a.seen == nil {
+		a.seen = make(map[model.ObjectID]bool, ocbVisitCap)
+	}
+	for k := range a.seen {
+		delete(a.seen, k)
+	}
+	a.seen[req.Target] = true
+	a.delBuf = append(a.delBuf[:0], req.Target)
+	a.walkBuf = append(a.walkBuf[:0], ocbFrame{req.Target, 0})
+	for len(a.walkBuf) > 0 && len(a.delBuf) < ocbVisitCap {
+		f := a.walkBuf[len(a.walkBuf)-1]
+		a.walkBuf = a.walkBuf[:len(a.walkBuf)-1]
+		o := a.graph.Object(f.id)
+		if o == nil {
+			continue
+		}
+		for _, c := range o.Components {
+			if a.seen[c] {
+				continue
+			}
+			a.seen[c] = true
+			if ios, err = a.readObject(ios, c, false, false); err != nil {
+				return nil, 0, err
+			}
+			logical++
+			a.delBuf = append(a.delBuf, c)
+			a.walkBuf = append(a.walkBuf, ocbFrame{c, f.depth + 1})
+			if len(a.delBuf) >= ocbVisitCap {
+				break
+			}
+		}
+	}
+	deleted := 0
+	for i := len(a.delBuf) - 1; i >= 0; i-- {
+		id := a.delBuf[i]
+		o := a.graph.Object(id)
+		if o == nil || len(o.Components) > 0 || len(o.Descendants) > 0 {
+			continue
+		}
+		if id != req.Target {
+			shared := false
+			for _, comp := range o.Composites {
+				if !a.seen[comp] {
+					shared = true
+					break
+				}
+			}
+			if shared {
+				continue
+			}
+		}
+		pg := a.store.PageOf(id)
+		if ios, err = a.ensureDirty(ios, pg); err != nil {
+			return nil, 0, err
+		}
+		if ios, err = a.logAppend(ios, txn, o.Size, pg); err != nil {
+			return nil, 0, err
+		}
+		if err := a.store.Remove(id); err != nil {
+			return nil, 0, err
+		}
+		if err := a.graph.DeleteObject(id); err != nil {
+			return nil, 0, err
+		}
+		deleted++
+	}
+	if deleted == 0 {
+		// Nothing deletable: mark the root obsolete instead.
+		o := a.graph.Object(req.Target)
+		pg := a.store.PageOf(req.Target)
+		if ios, err = a.ensureDirty(ios, pg); err != nil {
+			return nil, 0, err
+		}
+		if ios, err = a.logAppend(ios, txn, o.Size, pg); err != nil {
+			return nil, 0, err
+		}
+	}
+	return ios, logical, nil
+}
+
+// execOCBUpdate rewrites the target's attribute payload. A payload-size
+// change means the object no longer fits its slot: it comes off its page
+// and goes back through the placement policy, so updates churn physical
+// clustering the way the full OCB intends. A same-size update dirties and
+// journals the page in place.
+func (a *stack) execOCBUpdate(txn int, req workload.Op) ([]core.PhysIO, int, error) {
+	ios, err := a.readObject(nil, req.Target, true, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	o := a.graph.Object(req.Target)
+	if o == nil {
+		return ios, 1, nil // deleted before the update landed
+	}
+	newSize := a.sizeFor(req.Size, o.Size)
+	pg := a.store.PageOf(req.Target)
+	if ios, err = a.ensureDirty(ios, pg); err != nil {
+		return nil, 0, err
+	}
+	if ios, err = a.logAppend(ios, txn, o.Size, pg); err != nil {
+		return nil, 0, err
+	}
+	if newSize != o.Size {
+		if err := a.store.Remove(req.Target); err != nil {
+			return nil, 0, err
+		}
+		o.Size = newSize
+		pl, err := a.clust.PlaceNew(o)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ios, err = a.finishPlacement(txn, o, pl, ios); err != nil {
+			return nil, 0, err
+		}
+	}
+	return ios, 1, nil
+}
+
+// execOCBRewire redirects the target's first configuration reference to the
+// pre-drawn (earlier-created, so acyclicity is preserved) AttachTo object
+// and runs run-time reclustering on the restructured target — the
+// graph-churning operation dynamic clustering policies exist for.
+func (a *stack) execOCBRewire(txn int, req workload.Op) ([]core.PhysIO, int, error) {
+	ios, err := a.readObject(nil, req.Target, true, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	ios, err = a.readObject(ios, req.AttachTo, false, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	o := a.graph.Object(req.Target)
+	to := a.graph.Object(req.AttachTo)
+	if o == nil || to == nil {
+		return ios, 2, nil // an end was deleted before the rewire landed
+	}
+	if req.Target == req.AttachTo {
+		return a.execOCBUpdate(txn, req)
+	}
+	if len(o.Components) > 0 {
+		if err := a.graph.Detach(o.ID, o.Components[0]); err != nil {
+			return nil, 0, err
+		}
+	}
+	err = a.graph.Attach(o.ID, to.ID)
+	if err == model.ErrDuplicateLink {
+		err = nil // already wired; the detach alone churned the graph
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	pl, err := a.clust.Recluster(o)
+	if err != nil {
+		return nil, 0, err
+	}
+	ios = append(ios, pl.IOs...)
+	dirty := pl.DirtyPages
+	var one [1]storage.PageID
+	if len(dirty) == 0 {
+		one[0] = a.store.PageOf(o.ID)
+		dirty = one[:]
+	}
+	for _, pg := range dirty {
+		if ios, err = a.ensureDirty(ios, pg); err != nil {
+			return nil, 0, err
+		}
+		if ios, err = a.logAppend(ios, txn, o.Size, pg); err != nil {
+			return nil, 0, err
+		}
+	}
+	// The new reference target's composite backlink changed.
+	tpg := a.store.PageOf(to.ID)
+	if ios, err = a.ensureDirty(ios, tpg); err != nil {
+		return nil, 0, err
+	}
+	if ios, err = a.logAppend(ios, txn, to.Size, tpg); err != nil {
+		return nil, 0, err
+	}
+	return ios, 2, nil
 }

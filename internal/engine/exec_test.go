@@ -25,7 +25,7 @@ func execFixture(t *testing.T) *Engine {
 
 // exec runs one transaction through the functional layer with logging
 // bracketed, as startTxn would.
-func (e *Engine) exec(t *testing.T, req workload.Txn) ([]core.PhysIO, int) {
+func (e *Engine) exec(t *testing.T, req workload.Op) ([]core.PhysIO, int) {
 	t.Helper()
 	txn := e.txnSeq
 	e.txnSeq++
@@ -55,7 +55,7 @@ func countLog(ios []core.PhysIO) int {
 func TestExecSimpleLookup(t *testing.T) {
 	e := execFixture(t)
 	target := e.db.Leaves[0]
-	_, logical := e.exec(t, workload.Txn{Kind: workload.QSimpleLookup, Target: target})
+	_, logical := e.exec(t, workload.Op{Kind: workload.QSimpleLookup, Target: target})
 	if logical != 1 {
 		t.Fatalf("logical=%d", logical)
 	}
@@ -67,7 +67,7 @@ func TestExecSimpleLookup(t *testing.T) {
 func TestExecComponentRetrievalLogicalCount(t *testing.T) {
 	e := execFixture(t)
 	root := e.graph.Object(e.db.Roots[0])
-	_, logical := e.exec(t, workload.Txn{Kind: workload.QComponentRetrieval, Target: root.ID})
+	_, logical := e.exec(t, workload.Op{Kind: workload.QComponentRetrieval, Target: root.ID})
 	if logical != 1+len(root.Components) {
 		t.Fatalf("logical=%d, want 1+%d components", logical, len(root.Components))
 	}
@@ -80,7 +80,7 @@ func TestExecCheckoutReadsWholeHierarchy(t *testing.T) {
 	for _, b := range root.Components {
 		want += 1 + len(e.graph.Object(b).Components)
 	}
-	_, logical := e.exec(t, workload.Txn{Kind: workload.QCheckout, Target: root.ID})
+	_, logical := e.exec(t, workload.Op{Kind: workload.QCheckout, Target: root.ID})
 	if logical != want {
 		t.Fatalf("logical=%d, want hierarchy size %d", logical, want)
 	}
@@ -89,7 +89,7 @@ func TestExecCheckoutReadsWholeHierarchy(t *testing.T) {
 func TestExecUpdateDirtiesAndLogs(t *testing.T) {
 	e := execFixture(t)
 	target := e.db.Leaves[0]
-	ios, logical := e.exec(t, workload.Txn{Kind: workload.QUpdate, Target: target})
+	ios, logical := e.exec(t, workload.Op{Kind: workload.QUpdate, Target: target})
 	if logical != 1 {
 		t.Fatalf("logical=%d", logical)
 	}
@@ -108,7 +108,7 @@ func TestExecInsertCreatesAndAttaches(t *testing.T) {
 	po := e.graph.Object(parent)
 	nComps := len(po.Components)
 	leafT := e.db.Schema.LeafTypes[0]
-	e.exec(t, workload.Txn{Kind: workload.QInsert, AttachTo: parent, NewType: leafT})
+	e.exec(t, workload.Op{Kind: workload.QInsert, AttachTo: parent, NewType: leafT})
 	if e.graph.NumObjects() != before+1 {
 		t.Fatal("no object created")
 	}
@@ -129,7 +129,7 @@ func TestExecDeriveCreatesVersion(t *testing.T) {
 	root := e.db.Roots[0]
 	ro := e.graph.Object(root)
 	nDesc := len(ro.Descendants)
-	e.exec(t, workload.Txn{Kind: workload.QDerive, Target: root})
+	e.exec(t, workload.Op{Kind: workload.QDerive, Target: root})
 	if len(ro.Descendants) != nDesc+1 {
 		t.Fatal("no descendant recorded")
 	}
@@ -153,7 +153,7 @@ func TestExecStructUpdateTogglesLink(t *testing.T) {
 			hadLink = true
 		}
 	}
-	e.exec(t, workload.Txn{Kind: workload.QStructUpdate, Target: leaf, AttachTo: newParent})
+	e.exec(t, workload.Op{Kind: workload.QStructUpdate, Target: leaf, AttachTo: newParent})
 	hasLink := false
 	for _, c := range lo.Composites {
 		if c == newParent {
@@ -164,7 +164,7 @@ func TestExecStructUpdateTogglesLink(t *testing.T) {
 		t.Fatal("struct update did not toggle the link")
 	}
 	// Toggling back restores the original shape.
-	e.exec(t, workload.Txn{Kind: workload.QStructUpdate, Target: leaf, AttachTo: newParent})
+	e.exec(t, workload.Op{Kind: workload.QStructUpdate, Target: leaf, AttachTo: newParent})
 	hasLink = false
 	for _, c := range lo.Composites {
 		if c == newParent {
@@ -182,7 +182,7 @@ func TestExecStructUpdateTogglesLink(t *testing.T) {
 func TestExecScanReadsAllTargets(t *testing.T) {
 	e := execFixture(t)
 	scan := e.db.Leaves[:5]
-	_, logical := e.exec(t, workload.Txn{Kind: workload.QScan, Target: scan[0], Scan: scan})
+	_, logical := e.exec(t, workload.Op{Kind: workload.QScan, Target: scan[0], Targets: scan})
 	if logical != 5 {
 		t.Fatalf("logical=%d", logical)
 	}
@@ -193,7 +193,7 @@ func TestExecUnknownKind(t *testing.T) {
 	if err := e.log.Begin(99); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.access.Execute(99, workload.Txn{Kind: workload.NumQueryKinds}); err == nil {
+	if _, err := e.access.Execute(99, workload.Op{Kind: workload.NumQueryKinds}); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
 }
@@ -213,7 +213,7 @@ func TestExecDelete(t *testing.T) {
 		t.Fatal("no eligible leaf")
 	}
 	before := e.graph.NumObjects()
-	ios, logical := e.exec(t, workload.Txn{Kind: workload.QDelete, Target: target})
+	ios, logical := e.exec(t, workload.Op{Kind: workload.QDelete, Target: target})
 	if logical != 1 {
 		t.Fatalf("logical=%d", logical)
 	}
@@ -233,13 +233,13 @@ func TestExecDelete(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reading the deleted object later degrades gracefully.
-	_, logical = e.exec(t, workload.Txn{Kind: workload.QSimpleLookup, Target: target})
+	_, logical = e.exec(t, workload.Op{Kind: workload.QSimpleLookup, Target: target})
 	if logical != 1 {
 		t.Fatal("stale read not counted")
 	}
 	// Deleting a composite degrades to an update.
 	root := e.db.Roots[0]
-	e.exec(t, workload.Txn{Kind: workload.QDelete, Target: root})
+	e.exec(t, workload.Op{Kind: workload.QDelete, Target: root})
 	if e.graph.Object(root) == nil {
 		t.Fatal("composite was deleted")
 	}

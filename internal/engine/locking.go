@@ -20,7 +20,7 @@ type lockRequest struct {
 // structure — the paper's "object and composite object" granularity, a
 // hierarchical lock covering the expansion — while writes take exclusive
 // locks on every object they mutate.
-func lockSet(req workload.Txn) []lockRequest {
+func lockSet(req workload.Op) []lockRequest {
 	var out []lockRequest
 	add := func(obj model.ObjectID, mode lock.Mode) {
 		if obj == model.NilObject {
@@ -47,7 +47,7 @@ func lockSet(req workload.Txn) []lockRequest {
 	case workload.QScan, workload.QOCBScan, workload.QOCBStochastic:
 		// OCB scans and stochastic walks carry their resolved target lists
 		// in Scan; lock each target shared, like the OCT batch scan.
-		for _, id := range req.Scan {
+		for _, id := range req.Targets {
 			add(id, lock.Shared)
 		}
 	default: // the six read query types

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"oodb/internal/obs"
 	"oodb/internal/workload"
 )
 
@@ -113,6 +114,71 @@ func TestOCBRecordReplayIdentity(t *testing.T) {
 	if pol.LogicalOps != base.LogicalOps || pol.Completed != base.Completed {
 		t.Fatalf("logical totals diverged across policies: ops %d/%d txns %d/%d",
 			pol.LogicalOps, base.LogicalOps, pol.Completed, base.Completed)
+	}
+}
+
+// TestNoteOCBAccessAllocFree: attributing buffer accesses to the OCB write
+// kinds allocates nothing — on the uninstrumented (nil recorder) path and on
+// the live recording path alike. The access layer sits under every buffer
+// touch, so any allocation here would be per-I/O overhead.
+func TestNoteOCBAccessAllocFree(t *testing.T) {
+	kinds := []workload.QueryKind{
+		workload.QOCBInsert, workload.QOCBDelete,
+		workload.QOCBUpdate, workload.QOCBRewire,
+	}
+
+	bare := &stack{} // rec == nil: the uninstrumented fast path
+	if n := testing.AllocsPerRun(100, func() {
+		for _, k := range kinds {
+			bare.curKind = k
+			bare.noteOCBAccess(true)
+			bare.noteOCBAccess(false)
+		}
+	}); n != 0 {
+		t.Fatalf("nil-recorder noteOCBAccess allocates %v per run", n)
+	}
+
+	c := &obs.Counters{}
+	inst := &stack{rec: c}
+	if n := testing.AllocsPerRun(100, func() {
+		for _, k := range kinds {
+			inst.curKind = k
+			inst.noteOCBAccess(true)
+			inst.noteOCBAccess(false)
+		}
+	}); n != 0 {
+		t.Fatalf("recording noteOCBAccess allocates %v per run", n)
+	}
+	for _, ev := range []obs.Event{
+		obs.OCBInsertHit, obs.OCBInsertIO, obs.OCBDeleteHit, obs.OCBDeleteIO,
+		obs.OCBUpdateHit, obs.OCBUpdateIO, obs.OCBRewireHit, obs.OCBRewireIO,
+	} {
+		if c.CountOf(ev) == 0 {
+			t.Errorf("event %v never counted", ev)
+		}
+	}
+}
+
+// TestOCBWriteKindsInstrumented: a write-enabled OCB run with a recorder
+// attached attributes buffer traffic to the write-kind events end to end.
+func TestOCBWriteKindsInstrumented(t *testing.T) {
+	cfg := quickOCBConfig(400)
+	cfg.OCB.ReadWriteRatio = 2
+	c := &obs.Counters{}
+	cfg.Recorder = c
+	res := runOCB(t, cfg)
+	if res.WriteTxns == 0 {
+		t.Fatal("write-enabled OCB run completed no writes")
+	}
+	var total int64
+	for _, ev := range []obs.Event{
+		obs.OCBInsertHit, obs.OCBInsertIO, obs.OCBDeleteHit, obs.OCBDeleteIO,
+		obs.OCBUpdateHit, obs.OCBUpdateIO, obs.OCBRewireHit, obs.OCBRewireIO,
+	} {
+		total += c.CountOf(ev)
+	}
+	if total == 0 {
+		t.Fatal("no buffer accesses attributed to any OCB write kind")
 	}
 }
 

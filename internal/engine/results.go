@@ -6,6 +6,7 @@ import (
 	"oodb/internal/buffer"
 	"oodb/internal/core"
 	"oodb/internal/lock"
+	"oodb/internal/model"
 	"oodb/internal/stats"
 	"oodb/internal/storage"
 	"oodb/internal/txlog"
@@ -35,6 +36,10 @@ type Metrics struct {
 	// notFound counts logical reads of objects deleted between transaction
 	// generation and execution.
 	notFound int
+
+	// ratioIgnored counts phased read/write-ratio changes the workload
+	// source refused to honor (SetReadWriteRatio returned false).
+	ratioIgnored int
 
 	err error
 }
@@ -116,9 +121,12 @@ type Results struct {
 	P95Response   float64
 	ReadResponse  float64
 	WriteResponse float64
-	Completed     int
-	ReadTxns      int
-	WriteTxns     int
+	// P99WriteResponse is the 99th-percentile write response time — the
+	// write-mix macro benchmark's tail-latency metric.
+	P99WriteResponse float64
+	Completed        int
+	ReadTxns         int
+	WriteTxns        int
 
 	// I/O accounting.
 	LogicalOps    int
@@ -167,6 +175,24 @@ type Results struct {
 	// execution order. Two runs of the same read-only transaction stream
 	// must produce the same digest no matter the policy wiring.
 	LogicalDigest uint64
+	// FinalStateDigest folds the end-of-run logical database — every live
+	// object's identity, type, size, configuration references, and
+	// inheritance link, in ID order. Under a write-enabled stream executed
+	// without lock-induced reordering, every policy wiring must converge on
+	// the same final logical state; this digest is what the oracle compares.
+	FinalStateDigest uint64
+	// ConservationViolations counts writes after which the placed-object
+	// count disagreed with the live-object count (must be zero: every live
+	// object occupies exactly one page slot).
+	ConservationViolations int
+	// LiveObjects and PlacedObjects expose the end-of-run counts behind the
+	// conservation invariant.
+	LiveObjects   int
+	PlacedObjects int
+	// RatioChangesIgnored counts phased read/write-ratio changes the
+	// workload source refused to honor (e.g. a read-only OCB stream asked
+	// to start writing mid-run).
+	RatioChangesIgnored int
 	// PoolResident and PoolCapacity expose end-of-run buffer occupancy for
 	// the occupancy conservation invariant.
 	PoolResident int
@@ -183,27 +209,28 @@ type Results struct {
 func (e *Engine) results() Results {
 	m := &e.metrics
 	r := Results{
-		Config:        e.cfg,
-		MeanResponse:  m.respAll.Mean(),
-		P95Response:   m.respAll.Percentile(95),
-		ReadResponse:  m.respRead.Mean(),
-		WriteResponse: m.respWrite.Mean(),
-		Completed:     m.respAll.N(),
-		ReadTxns:      m.respRead.N(),
-		WriteTxns:     m.respWrite.N(),
-		LogicalOps:    m.logicalOps,
-		PhysReads:     m.physReads,
-		PhysWrites:    m.physWrites,
-		LogIOs:        m.logWrites,
-		BackgroundIOs: m.bgReads,
-		NotFoundReads: m.notFound,
-		HitRatio:      e.pool.Stats().HitRatio(),
-		SimTime:       e.sim.Now(),
-		Pool:          e.pool.Stats(),
-		Cluster:       e.clust.Stats(),
-		Log:           e.log.Stats(),
-		CPUUtil:       e.cpu.Utilization(),
-		LogDiskUtil:   e.logDisk.Utilization(),
+		Config:           e.cfg,
+		MeanResponse:     m.respAll.Mean(),
+		P95Response:      m.respAll.Percentile(95),
+		ReadResponse:     m.respRead.Mean(),
+		WriteResponse:    m.respWrite.Mean(),
+		P99WriteResponse: m.respWrite.Percentile(99),
+		Completed:        m.respAll.N(),
+		ReadTxns:         m.respRead.N(),
+		WriteTxns:        m.respWrite.N(),
+		LogicalOps:       m.logicalOps,
+		PhysReads:        m.physReads,
+		PhysWrites:       m.physWrites,
+		LogIOs:           m.logWrites,
+		BackgroundIOs:    m.bgReads,
+		NotFoundReads:    m.notFound,
+		HitRatio:         e.pool.Stats().HitRatio(),
+		SimTime:          e.sim.Now(),
+		Pool:             e.pool.Stats(),
+		Cluster:          e.clust.Stats(),
+		Log:              e.log.Stats(),
+		CPUUtil:          e.cpu.Utilization(),
+		LogDiskUtil:      e.logDisk.Utilization(),
 	}
 	if r.SimTime > 0 {
 		r.Throughput = float64(r.Completed) / r.SimTime
@@ -224,7 +251,12 @@ func (e *Engine) results() Results {
 	}
 	if st, ok := e.access.(*stack); ok {
 		r.LogicalDigest = st.digest
+		r.ConservationViolations = st.conserve
 	}
+	r.RatioChangesIgnored = m.ratioIgnored
+	r.LiveObjects = e.graph.NumObjects()
+	r.PlacedObjects = e.store.NumPlaced()
+	r.FinalStateDigest = finalStateDigest(e.graph)
 	if e.durable != nil {
 		r.Durability = e.durable.DurableStats()
 	}
@@ -241,6 +273,27 @@ func (e *Engine) results() Results {
 		}
 	}
 	return r
+}
+
+// finalStateDigest folds every live object — identity, type, size,
+// configuration references, inheritance link — in ID order into an
+// FNV-style accumulator. ID order is policy-independent, so any two runs
+// that applied the same logical writes agree on this digest no matter how
+// objects were placed, buffered, or clustered.
+func finalStateDigest(g *model.Graph) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	fold := func(v uint64) { h = (h ^ v) * 0x100000001b3 }
+	g.ForEachObject(func(o *model.Object) {
+		fold(uint64(o.ID))
+		fold(uint64(o.Type))
+		fold(uint64(o.Size))
+		fold(uint64(o.InheritsFrom))
+		fold(uint64(len(o.Components)))
+		for _, c := range o.Components {
+			fold(uint64(c))
+		}
+	})
+	return h
 }
 
 // String renders a one-line summary.

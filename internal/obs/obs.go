@@ -113,6 +113,19 @@ const (
 	// OCBStochasticHit / OCBStochasticIO: stochastic traversals.
 	OCBStochasticHit
 	OCBStochasticIO
+	// OCBInsertHit / OCBInsertIO: object inserts (reference-target reads
+	// plus the pages the new object dirties).
+	OCBInsertHit
+	OCBInsertIO
+	// OCBDeleteHit / OCBDeleteIO: subtree deletes.
+	OCBDeleteHit
+	OCBDeleteIO
+	// OCBUpdateHit / OCBUpdateIO: attribute updates.
+	OCBUpdateHit
+	OCBUpdateIO
+	// OCBRewireHit / OCBRewireIO: reference rewirings.
+	OCBRewireHit
+	OCBRewireIO
 
 	// --- storage: durability (file backend) ---
 
@@ -164,6 +177,14 @@ var eventNames = [NumEvents]string{
 	OCBHierarchyIO:      "ocb.hierarchy.io",
 	OCBStochasticHit:    "ocb.stochastic.hit",
 	OCBStochasticIO:     "ocb.stochastic.io",
+	OCBInsertHit:        "ocb.insert.hit",
+	OCBInsertIO:         "ocb.insert.io",
+	OCBDeleteHit:        "ocb.delete.hit",
+	OCBDeleteIO:         "ocb.delete.io",
+	OCBUpdateHit:        "ocb.update.hit",
+	OCBUpdateIO:         "ocb.update.io",
+	OCBRewireHit:        "ocb.rewire.hit",
+	OCBRewireIO:         "ocb.rewire.io",
 	WALAppend:           "wal.append",
 	WALFsync:            "wal.fsync",
 	StorePageRead:       "store.page_read",

@@ -275,18 +275,18 @@ func TestGeneratorKindsValid(t *testing.T) {
 		}
 		switch tx.Kind {
 		case workload.QOCBScan:
-			if len(tx.Scan) == 0 || len(tx.Scan) > p.ScanSample {
-				t.Fatalf("op %d: scan of %d objects, want 1..%d", i, len(tx.Scan), p.ScanSample)
+			if len(tx.Targets) == 0 || len(tx.Targets) > p.ScanSample {
+				t.Fatalf("op %d: scan of %d objects, want 1..%d", i, len(tx.Targets), p.ScanSample)
 			}
 		case workload.QOCBStochastic:
-			if len(tx.Scan) == 0 || len(tx.Scan) > p.Depth+1 {
-				t.Fatalf("op %d: stochastic path of %d steps, want 1..%d", i, len(tx.Scan), p.Depth+1)
+			if len(tx.Targets) == 0 || len(tx.Targets) > p.Depth+1 {
+				t.Fatalf("op %d: stochastic path of %d steps, want 1..%d", i, len(tx.Targets), p.Depth+1)
 			}
-			for k := 1; k < len(tx.Scan); k++ {
-				o := b.Graph.Object(tx.Scan[k-1])
+			for k := 1; k < len(tx.Targets); k++ {
+				o := b.Graph.Object(tx.Targets[k-1])
 				found := false
 				for _, c := range o.Components {
-					if c == tx.Scan[k] {
+					if c == tx.Targets[k] {
 						found = true
 						break
 					}

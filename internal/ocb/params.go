@@ -1,17 +1,23 @@
 // Package ocb implements an OCB-style synthetic workload family (after
 // Darmont et al.'s generic object-oriented benchmark): a parameterized
 // object-base generator — class-hierarchy depth/fanout, reference
-// distributions (uniform, Zipfian hot/cold, locality-clustered) — and a
-// read-only transaction generator producing the four OCB operation kinds
-// (set-oriented scan, simple traversal, hierarchy traversal along
-// inheritance links, stochastic traversal along configuration links).
+// distributions (uniform, Zipfian hot/cold, locality-clustered) — and an
+// operation generator producing the four OCB read kinds (set-oriented
+// scan, simple traversal, hierarchy traversal along inheritance links,
+// stochastic traversal along configuration links) plus, when
+// Params.ReadWriteRatio enables them, the four full-OCB evolution kinds
+// (object insert, subtree delete, attribute update, reference rewiring).
 //
 // The generator plugs into the engine behind the workload.Source seam, so
 // OCB runs snapshot/restore and record/replay exactly like the paper's OCT
-// workload. Because every OCB operation is a read, a recorded OCB stream
-// replayed under two different policy wirings must produce identical
-// logical results — the property the differential oracle
-// (internal/oracle) turns into an executable check.
+// workload. With the default read-only mix, a recorded OCB stream replayed
+// under two different policy wirings must produce identical logical
+// results; with writes enabled the same property holds for synchronous
+// (lock-free) execution, because every draw — including write targets and
+// payload-size classes — is resolved at generation time. The differential
+// oracle (internal/oracle) turns both into executable checks, adding
+// per-write conservation invariants and a final-state digest for the
+// write-enabled case.
 package ocb
 
 import "fmt"
@@ -112,6 +118,36 @@ type Params struct {
 	// SessionMin and SessionMax bound the transactions per user session
 	// (defaults 5 and 20, matching the OCT workload's session model).
 	SessionMin, SessionMax int
+
+	// --- Writes (full-OCB evolution operations) ---
+
+	// ReadWriteRatio is reads per write. Zero (the default) keeps the
+	// classic read-only OCB mix; any positive value enables the four write
+	// kinds with write probability 1/(1+ReadWriteRatio). The read-only
+	// default is deliberately not filled in by WithDefaults: a zero here is
+	// a meaningful configuration, and read-only streams must keep their
+	// byte-identical digest contract.
+	ReadWriteRatio float64
+	// WeightInsert..WeightRewire set the write-operation mix (defaults
+	// 3/1/4/2). Only consulted when a write is drawn, so they cost no
+	// randomness on read-only runs.
+	WeightInsert, WeightDelete, WeightUpdate, WeightRewire int
+
+	// --- Hostile traffic shapes ---
+
+	// Tenants partitions the object base into that many contiguous
+	// creation-order slices; each session is pinned to one tenant drawn
+	// with Zipfian skew, so a few tenants dominate the traffic
+	// (default 1 = no partitioning, and no extra randomness is consumed).
+	Tenants int
+	// TenantSkew is the Zipf exponent of the tenant draw (> 1; default 2).
+	TenantSkew float64
+	// DriftPeriod, for DistClustered, replaces the random 1/16 locus
+	// relocation with a deterministic working-set sweep: every DriftPeriod
+	// operations the locality locus advances half a window, forcing the
+	// hot set to migrate across the base (and the clusterer to chase it).
+	// Zero (the default) keeps the random relocation.
+	DriftPeriod int
 }
 
 // DefaultParams returns the fully defaulted parameter set.
@@ -166,6 +202,18 @@ func (p Params) WithDefaults() Params {
 			p.SessionMax = p.SessionMin
 		}
 	}
+	if p.WeightInsert+p.WeightDelete+p.WeightUpdate+p.WeightRewire <= 0 {
+		p.WeightInsert, p.WeightDelete, p.WeightUpdate, p.WeightRewire = 3, 1, 4, 2
+	}
+	if p.Tenants <= 0 {
+		p.Tenants = 1
+	}
+	if p.TenantSkew <= 1 {
+		p.TenantSkew = 2
+	}
+	if p.DriftPeriod < 0 {
+		p.DriftPeriod = 0
+	}
 	return p
 }
 
@@ -194,6 +242,18 @@ func (p Params) Validate() error {
 		return fmt.Errorf("ocb: at least one operation weight must be positive")
 	case p.SessionMin < 1 || p.SessionMax < p.SessionMin:
 		return fmt.Errorf("ocb: session bounds [%d,%d] invalid", p.SessionMin, p.SessionMax)
+	case p.ReadWriteRatio < 0:
+		return fmt.Errorf("ocb: ReadWriteRatio %g must be non-negative", p.ReadWriteRatio)
+	case p.WeightInsert < 0 || p.WeightDelete < 0 || p.WeightUpdate < 0 || p.WeightRewire < 0:
+		return fmt.Errorf("ocb: write-operation weights must be non-negative")
+	case p.ReadWriteRatio > 0 && p.WeightInsert+p.WeightDelete+p.WeightUpdate+p.WeightRewire == 0:
+		return fmt.Errorf("ocb: writes enabled but every write-operation weight is zero")
+	case p.Tenants < 1 || p.Tenants > 1024:
+		return fmt.Errorf("ocb: Tenants %d out of range [1,1024]", p.Tenants)
+	case p.TenantSkew <= 1:
+		return fmt.Errorf("ocb: TenantSkew %g must exceed 1", p.TenantSkew)
+	case p.DriftPeriod < 0:
+		return fmt.Errorf("ocb: DriftPeriod %d must be non-negative", p.DriftPeriod)
 	}
 	return nil
 }
@@ -201,5 +261,15 @@ func (p Params) Validate() error {
 // Label renders the distribution-bearing label used in experiment rows.
 func (p Params) Label() string {
 	d := p.WithDefaults()
-	return fmt.Sprintf("ocb-%s-r%d-d%d", d.RefDist, d.RefsPerObject, d.Depth)
+	l := fmt.Sprintf("ocb-%s-r%d-d%d", d.RefDist, d.RefsPerObject, d.Depth)
+	if d.ReadWriteRatio > 0 {
+		l += fmt.Sprintf("-rw%g", d.ReadWriteRatio)
+	}
+	if d.Tenants > 1 {
+		l += fmt.Sprintf("-t%d", d.Tenants)
+	}
+	if d.DriftPeriod > 0 {
+		l += fmt.Sprintf("-drift%d", d.DriftPeriod)
+	}
+	return l
 }

@@ -1,37 +1,75 @@
 package ocb
 
-import "fmt"
+import (
+	"fmt"
 
-// GeneratorState is the serializable state of an OCB Generator. The object
-// base itself is immutable (the workload is read-only) and regenerated
-// deterministically from configuration at resume time; only the generator's
-// counters and the clustered-locality cursor are state. The random stream
-// is a named kernel stream, restored by the kernel.
+	"oodb/internal/model"
+)
+
+// GeneratorState is the serializable state of an OCB Generator. The
+// generated object base is regenerated deterministically from configuration
+// at resume time; the state captures what the run added on top: the
+// counters, the clustered-locality cursor, the session's tenant, and the
+// run-time tails of the Order and Extents indexes (objects created by
+// QOCBInsert executions via NoteCreated — the indexes are append-only, so
+// the tail past the generated prefix is exactly the run-time growth).
+// Params is state, not configuration: the phased workload changes the
+// read/write ratio mid-run. The random stream is a named kernel stream,
+// restored by the kernel.
 type GeneratorState struct {
 	Params Params
 	Locus  int
+	Tenant int
 	Reads  int
+	Writes int
 	Kinds  [NumOps]int
+
+	OrderTail   []model.ObjectID
+	ExtentTails [][]model.ObjectID
 }
 
 // Snapshot captures the generator state.
 func (gen *Generator) Snapshot() GeneratorState {
-	return GeneratorState{
-		Params: gen.p,
-		Locus:  gen.locus,
-		Reads:  gen.reads,
-		Kinds:  gen.kinds,
+	s := GeneratorState{
+		Params:      gen.p,
+		Locus:       gen.locus,
+		Tenant:      gen.tenant,
+		Reads:       gen.reads,
+		Writes:      gen.writes,
+		Kinds:       gen.kinds,
+		OrderTail:   append([]model.ObjectID(nil), gen.base.Order[gen.initOrder:]...),
+		ExtentTails: make([][]model.ObjectID, len(gen.base.Extents)),
 	}
+	for i, ext := range gen.base.Extents {
+		s.ExtentTails[i] = append([]model.ObjectID(nil), ext[gen.initExt[i]:]...)
+	}
+	return s
 }
 
-// Restore overwrites the generator state.
+// Restore overwrites the generator state and re-applies the run-time index
+// growth on top of the freshly regenerated base.
 func (gen *Generator) Restore(s GeneratorState) error {
-	if s.Locus < 0 || s.Reads < 0 {
-		return fmt.Errorf("ocb: snapshot counters negative (locus=%d reads=%d)", s.Locus, s.Reads)
+	if s.Locus < 0 || s.Reads < 0 || s.Writes < 0 || s.Tenant < 0 {
+		return fmt.Errorf("ocb: snapshot counters negative (locus=%d tenant=%d reads=%d writes=%d)",
+			s.Locus, s.Tenant, s.Reads, s.Writes)
+	}
+	if len(s.ExtentTails) != 0 && len(s.ExtentTails) != len(gen.base.Extents) {
+		return fmt.Errorf("ocb: snapshot has %d extent tails, base has %d extents",
+			len(s.ExtentTails), len(gen.base.Extents))
 	}
 	gen.p = s.Params.WithDefaults()
 	gen.locus = s.Locus
+	gen.tenant = s.Tenant
 	gen.reads = s.Reads
+	gen.writes = s.Writes
 	gen.kinds = s.Kinds
+	gen.base.Order = append(gen.base.Order[:gen.initOrder], s.OrderTail...)
+	for i := range gen.base.Extents {
+		var tail []model.ObjectID
+		if i < len(s.ExtentTails) {
+			tail = s.ExtentTails[i]
+		}
+		gen.base.Extents[i] = append(gen.base.Extents[i][:gen.initExt[i]], tail...)
+	}
 	return nil
 }

@@ -3,14 +3,23 @@
 // and assert that (a) the logical results are identical and (b) each run's
 // physical accounting obeys the stack's conservation invariants.
 //
-// The equivalence half leans on a determinism argument: for a *read-only*
-// stream (every OCB operation kind is a read) shared locks never conflict,
-// so each transaction executes synchronously at submission and the n-th
-// submission consumes the n-th trace record — the execution order, and
-// therefore the engine's logical-read digest, is independent of the policy
-// wiring. Write workloads (OCT) can reorder execution through lock waits,
-// so equivalence is asserted only for read-only streams; the conservation
-// invariants hold for any run.
+// The equivalence half leans on a determinism argument. For a *read-only*
+// stream shared locks never conflict, so each transaction executes
+// synchronously at submission and the n-th submission consumes the n-th
+// trace record — the execution order, and therefore the engine's
+// logical-read digest, is independent of the policy wiring. Write streams
+// can reorder execution through lock waits, so their equivalence gate
+// additionally requires Locking to be disabled: without locks *every*
+// transaction executes synchronously at submission, the replayed write
+// sequence applies in trace order under any wiring, and both the
+// logical-read digest and the end-of-run FinalStateDigest (the folded
+// logical database: object identities, types, sizes, references,
+// inheritance links) must agree across policies.
+//
+// The conservation half holds for any run, and write streams add their own
+// invariants: the per-write placed-objects == live-objects check (counted
+// by the access layer after every write) must report zero violations, and
+// the end-of-run placement count must equal the live-object count.
 package oracle
 
 import (
@@ -86,6 +95,29 @@ func CheckEquivalence(base, other engine.Results) error {
 	return nil
 }
 
+// CheckFinalState asserts end-of-run logical-database equivalence of two
+// runs of the same recorded stream: identical final-state digests (every
+// live object with its type, size, references, and inheritance link) and
+// identical live-object counts. For a write stream this is the oracle's
+// closure check — no matter how a policy placed, buffered, or clustered the
+// writes, both runs must converge on the same logical database. It requires
+// that execution happened in trace order (read-only stream, or a write
+// stream with Locking disabled).
+func CheckFinalState(base, other engine.Results) error {
+	switch {
+	case base.FinalStateDigest != other.FinalStateDigest:
+		return fmt.Errorf("oracle: final-state digest diverged: base %016x, other %016x",
+			base.FinalStateDigest, other.FinalStateDigest)
+	case base.LiveObjects != other.LiveObjects:
+		return fmt.Errorf("oracle: live-object count diverged: base %d, other %d",
+			base.LiveObjects, other.LiveObjects)
+	case base.WriteTxns != other.WriteTxns:
+		return fmt.Errorf("oracle: write txn count diverged: base %d, other %d",
+			base.WriteTxns, other.WriteTxns)
+	}
+	return nil
+}
+
 // CheckConservation asserts the physical-accounting invariants of one run.
 //
 // Unconditional invariants:
@@ -103,6 +135,14 @@ func CheckConservation(r engine.Results) error {
 	if r.PoolResident > r.PoolCapacity {
 		return fmt.Errorf("oracle: buffer occupancy %d exceeds pool capacity %d",
 			r.PoolResident, r.PoolCapacity)
+	}
+	if r.ConservationViolations != 0 {
+		return fmt.Errorf("oracle: %d writes left the placed-object count out of step with the live-object count",
+			r.ConservationViolations)
+	}
+	if r.PlacedObjects != r.LiveObjects {
+		return fmt.Errorf("oracle: %d placed objects != %d live objects at end of run",
+			r.PlacedObjects, r.LiveObjects)
 	}
 	if r.Config.Locking {
 		if r.Locks.Granted != r.Locks.Requests {
@@ -151,6 +191,9 @@ func (s *Stream) Compare(a, b engine.Config) error {
 		return fmt.Errorf("%w (under %s)", err, b.Label())
 	}
 	if err := CheckEquivalence(ra, rb); err != nil {
+		return fmt.Errorf("%w (%s vs %s)", err, a.Label(), b.Label())
+	}
+	if err := CheckFinalState(ra, rb); err != nil {
 		return fmt.Errorf("%w (%s vs %s)", err, a.Label(), b.Label())
 	}
 	return nil

@@ -92,6 +92,75 @@ func TestOracleAcrossPrefetchPolicies(t *testing.T) {
 	}
 }
 
+// tinyWriteConfig is a write-enabled OCB configuration: roughly one write
+// per 1.5 reads across all four write kinds, with locking disabled so every
+// transaction executes synchronously at submission — the precondition for
+// cross-policy write equivalence (see the package doc).
+func tinyWriteConfig() engine.Config {
+	cfg := engine.DefaultConfig(0.005)
+	cfg.Workload = engine.WorkloadOCB
+	cfg.OCB.ReadWriteRatio = 1.5
+	cfg.Locking = false
+	cfg.Transactions = 250
+	cfg.Seed = 11
+	return cfg
+}
+
+var sharedWriteStream *Stream
+
+func writeStream(t *testing.T) *Stream {
+	t.Helper()
+	if sharedWriteStream == nil {
+		s, err := Record(tinyWriteConfig())
+		if err != nil {
+			t.Fatalf("recording write-enabled OCB stream: %v", err)
+		}
+		sharedWriteStream = s
+	}
+	return sharedWriteStream
+}
+
+// TestWriteOracleAcrossAllPolicies replays a write-enabled OCB stream under
+// every registered replacement policy, cluster strategy, and prefetch level,
+// asserting the full write oracle against the default wiring: identical
+// logical-read digests, identical final logical databases, zero
+// conservation violations, and conserved accounting. This is the PR's
+// differential gate for the write pipeline.
+func TestWriteOracleAcrossAllPolicies(t *testing.T) {
+	s := writeStream(t)
+	base := tinyWriteConfig()
+	if s.Base.WriteTxns == 0 {
+		t.Fatal("write-enabled stream produced no write transactions")
+	}
+	if err := CheckConservation(s.Base); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	for _, name := range buffer.PolicyNames() {
+		if isTestPolicy(name) {
+			continue
+		}
+		variant := base
+		variant.ReplacementName = name
+		if err := s.Compare(base, variant); err != nil {
+			t.Errorf("replacement %q: %v", name, err)
+		}
+	}
+	for _, name := range core.ClusterStrategyNames() {
+		variant := base
+		variant.ClusterStrategy = name
+		if err := s.Compare(base, variant); err != nil {
+			t.Errorf("cluster strategy %q: %v", name, err)
+		}
+	}
+	for _, pf := range []core.PrefetchPolicy{core.NoPrefetch, core.PrefetchWithinBuffer, core.PrefetchWithinDB} {
+		variant := base
+		variant.Prefetch = pf
+		if err := s.Compare(base, variant); err != nil {
+			t.Errorf("prefetch %v: %v", pf, err)
+		}
+	}
+}
+
 // TestOCTStreamConservation: the conservation half of the oracle applies to
 // write workloads too (equivalence does not — lock waits can reorder write
 // execution). Record an OCT stream and check conservation under two

@@ -30,7 +30,7 @@ func FuzzReader(f *testing.F) {
 		if err != nil {
 			return
 		}
-		var txn workload.Txn
+		var txn workload.Op
 		for i := 0; i < 1<<16; i++ {
 			err := r.Next(&txn)
 			if err == io.EOF {
@@ -42,8 +42,8 @@ func FuzzReader(f *testing.F) {
 			if txn.Kind >= workload.NumQueryKinds {
 				t.Fatalf("decoded out-of-range kind %d", txn.Kind)
 			}
-			if len(txn.Scan) > maxScanLen {
-				t.Fatalf("decoded %d scan targets past the cap", len(txn.Scan))
+			if len(txn.Targets) > maxScanLen {
+				t.Fatalf("decoded %d scan targets past the cap", len(txn.Targets))
 			}
 		}
 	})
@@ -51,7 +51,7 @@ func FuzzReader(f *testing.F) {
 
 // record2 is the test-helper writer usable from both *testing.T and
 // *testing.F seed construction.
-func record2(f *testing.F, txns []workload.Txn) []byte {
+func record2(f *testing.F, txns []workload.Op) []byte {
 	f.Helper()
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf)

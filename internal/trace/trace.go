@@ -5,9 +5,9 @@
 // strategies, or buffer sizes.
 //
 // The format is a fixed 8-byte header ("OODBTRC" + version) followed by one
-// compact record per transaction: a kind byte, then unsigned varints for
-// the target, attach-to, and new-type fields, then a varint-counted list of
-// scan targets. Varints keep traces small (most IDs are small integers) and
+// compact record per operation: a kind byte, a payload-size-class byte,
+// then unsigned varints for the target, attach-to, and new-type fields,
+// then a varint-counted list of scan targets. Varints keep traces small (most IDs are small integers) and
 // the Writer/Reader pair runs allocation-free in steady state — recording
 // must not perturb the run being recorded.
 package trace
@@ -24,8 +24,11 @@ import (
 	"oodb/internal/workload"
 )
 
-// Version is the trace format version this package writes.
-const Version = 1
+// Version is the trace format version this package writes. Version 2
+// added the payload-size-class byte after the kind byte when the
+// operation model grew first-class writes; version-1 traces are rejected
+// with ErrVersion rather than misread.
+const Version = 2
 
 // header is the fixed file prefix: 7 magic bytes plus the version byte.
 var header = [8]byte{'O', 'O', 'D', 'B', 'T', 'R', 'C', Version}
@@ -58,11 +61,17 @@ func (tw *Writer) uvarint(v uint64) error {
 }
 
 // Write appends one transaction record.
-func (tw *Writer) Write(t workload.Txn) error {
+func (tw *Writer) Write(t workload.Op) error {
 	if t.Kind >= workload.NumQueryKinds {
 		return fmt.Errorf("trace: invalid query kind %d", t.Kind)
 	}
 	if err := tw.w.WriteByte(byte(t.Kind)); err != nil {
+		return err
+	}
+	if t.Size >= workload.NumSizeClasses {
+		return fmt.Errorf("trace: invalid size class %d", t.Size)
+	}
+	if err := tw.w.WriteByte(byte(t.Size)); err != nil {
 		return err
 	}
 	if err := tw.uvarint(uint64(t.Target)); err != nil {
@@ -74,10 +83,10 @@ func (tw *Writer) Write(t workload.Txn) error {
 	if err := tw.uvarint(uint64(t.NewType)); err != nil {
 		return err
 	}
-	if err := tw.uvarint(uint64(len(t.Scan))); err != nil {
+	if err := tw.uvarint(uint64(len(t.Targets))); err != nil {
 		return err
 	}
-	for _, id := range t.Scan {
+	for _, id := range t.Targets {
 		if err := tw.uvarint(uint64(id)); err != nil {
 			return err
 		}
@@ -129,11 +138,11 @@ func (tr *Reader) uvarint(max uint64, what string) (uint64, error) {
 	return v, nil
 }
 
-// Next decodes the next record into t. The Scan slice is backed by the
+// Next decodes the next record into t. The Targets slice is backed by the
 // reader's reusable buffer and is valid until the following Next call. At a
 // clean end of stream Next returns io.EOF; truncation mid-record returns
 // ErrCorrupt.
-func (tr *Reader) Next(t *workload.Txn) error {
+func (tr *Reader) Next(t *workload.Op) error {
 	kind, err := tr.r.ReadByte()
 	if err != nil {
 		if errors.Is(err, io.EOF) {
@@ -143,6 +152,13 @@ func (tr *Reader) Next(t *workload.Txn) error {
 	}
 	if workload.QueryKind(kind) >= workload.NumQueryKinds {
 		return fmt.Errorf("%w: query kind %d", checkpoint.ErrCorrupt, kind)
+	}
+	size, err := tr.r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("%w: reading size class: %v", checkpoint.ErrCorrupt, err)
+	}
+	if workload.SizeClass(size) >= workload.NumSizeClasses {
+		return fmt.Errorf("%w: size class %d", checkpoint.ErrCorrupt, size)
 	}
 	target, err := tr.uvarint(1<<32-1, "target")
 	if err != nil {
@@ -169,13 +185,14 @@ func (tr *Reader) Next(t *workload.Txn) error {
 		tr.scan = append(tr.scan, model.ObjectID(id))
 	}
 	t.Kind = workload.QueryKind(kind)
+	t.Size = workload.SizeClass(size)
 	t.Target = model.ObjectID(target)
 	t.AttachTo = model.ObjectID(attach)
 	t.NewType = model.TypeID(newType)
 	if scanLen == 0 {
-		t.Scan = nil
+		t.Targets = nil
 	} else {
-		t.Scan = tr.scan
+		t.Targets = tr.scan
 	}
 	tr.n++
 	return nil

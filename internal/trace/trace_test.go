@@ -13,11 +13,11 @@ import (
 	"oodb/internal/workload"
 )
 
-func randomTxns(n int, seed int64) []workload.Txn {
+func randomTxns(n int, seed int64) []workload.Op {
 	rng := rand.New(rand.NewSource(seed))
-	txns := make([]workload.Txn, n)
+	txns := make([]workload.Op, n)
 	for i := range txns {
-		txns[i] = workload.Txn{
+		txns[i] = workload.Op{
 			Kind:     workload.QueryKind(rng.Intn(int(workload.NumQueryKinds))),
 			Target:   model.ObjectID(rng.Intn(1 << 20)),
 			AttachTo: model.ObjectID(rng.Intn(1 << 20)),
@@ -28,13 +28,13 @@ func randomTxns(n int, seed int64) []workload.Txn {
 			for j := range scan {
 				scan[j] = model.ObjectID(rng.Intn(1 << 20))
 			}
-			txns[i].Scan = scan
+			txns[i].Targets = scan
 		}
 	}
 	return txns
 }
 
-func record(t *testing.T, txns []workload.Txn) []byte {
+func record(t *testing.T, txns []workload.Op) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf)
@@ -64,22 +64,22 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatalf("NewReader: %v", err)
 	}
 	for i, want := range txns {
-		var got workload.Txn
+		var got workload.Op
 		if err := r.Next(&got); err != nil {
 			t.Fatalf("Next %d: %v", i, err)
 		}
-		got.Scan = append([]model.ObjectID(nil), got.Scan...)
-		if len(got.Scan) == 0 {
-			got.Scan = nil
+		got.Targets = append([]model.ObjectID(nil), got.Targets...)
+		if len(got.Targets) == 0 {
+			got.Targets = nil
 		}
-		if len(want.Scan) == 0 {
-			want.Scan = nil
+		if len(want.Targets) == 0 {
+			want.Targets = nil
 		}
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("record %d: got %+v, want %+v", i, got, want)
 		}
 	}
-	var extra workload.Txn
+	var extra workload.Op
 	if err := r.Next(&extra); err != io.EOF {
 		t.Fatalf("after last record: %v, want io.EOF", err)
 	}
@@ -94,7 +94,7 @@ func TestWriterRejectsInvalidKind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Write(workload.Txn{Kind: workload.NumQueryKinds}); err == nil {
+	if err := w.Write(workload.Op{Kind: workload.NumQueryKinds}); err == nil {
 		t.Fatal("invalid kind accepted")
 	}
 }
@@ -124,7 +124,7 @@ func TestReaderRejectsMalformedInput(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			r, err := NewReader(bytes.NewReader(tc.data))
 			for err == nil {
-				var txn workload.Txn
+				var txn workload.Op
 				err = r.Next(&txn)
 				if err == io.EOF {
 					t.Fatal("malformed trace read to clean EOF")
@@ -155,7 +155,7 @@ func TestReaderBoundsScanLength(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var txn workload.Txn
+	var txn workload.Op
 	if err := r.Next(&txn); !errors.Is(err, checkpoint.ErrCorrupt) {
 		t.Fatalf("oversized scan length: %v, want ErrCorrupt", err)
 	}
@@ -192,7 +192,7 @@ func TestSteadyStateAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var txn workload.Txn
+	var txn workload.Op
 	for j := 0; j < 32; j++ { // warm the scan scratch buffer
 		if err := r.Next(&txn); err != nil {
 			t.Fatal(err)

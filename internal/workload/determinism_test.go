@@ -20,13 +20,13 @@ func TestGeneratorDeterminism(t *testing.T) {
 	p := DefaultParams(MedDensity, 10)
 
 	const n = 2000
-	streams := make([][]Txn, 2)
+	streams := make([][]Op, 2)
 	for i := range streams {
 		gen := NewGenerator(db, p, rand.New(rand.NewSource(42)))
-		streams[i] = make([]Txn, 0, n)
+		streams[i] = make([]Op, 0, n)
 		for j := 0; j < n; j++ {
 			txn := gen.Next()
-			txn.Scan = append([]model.ObjectID(nil), txn.Scan...)
+			txn.Targets = append([]model.ObjectID(nil), txn.Targets...)
 			streams[i] = append(streams[i], txn)
 		}
 	}
@@ -55,10 +55,10 @@ func TestGeneratorSnapshotResume(t *testing.T) {
 		gen.Next()
 	}
 	snap := gen.Snapshot()
-	rest := make([]Txn, 0, n-k)
+	rest := make([]Op, 0, n-k)
 	for i := k; i < n; i++ {
 		txn := gen.Next()
-		txn.Scan = append([]model.ObjectID(nil), txn.Scan...)
+		txn.Targets = append([]model.ObjectID(nil), txn.Targets...)
 		rest = append(rest, txn)
 	}
 

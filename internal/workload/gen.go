@@ -6,20 +6,30 @@ import (
 	"oodb/internal/model"
 )
 
-// Txn is one transaction request: in the paper's model, every object read
-// or write operation is a transaction (Section 4.1).
-type Txn struct {
+// Op is one operation request — the shared representation every workload
+// source emits and every execution layer consumes: a kind, a target set,
+// and a payload-size class. In the paper's model every object read or
+// write operation is a transaction (Section 4.1); OCB reads and the full
+// OCB evolution operations ride in the same shape, with all randomness
+// resolved at generation time so recorded streams replay byte-identically.
+type Op struct {
 	Kind QueryKind
-	// Target is the primary object of the transaction (the composite to
+	// Target is the primary object of the operation (the composite to
 	// expand, the object to update, ...). NilObject only for inserts.
 	Target model.ObjectID
-	// AttachTo is the composite a QInsert attaches the new object to, or the
-	// composite a QStructUpdate re-links Target under.
+	// AttachTo is the composite a QInsert attaches the new object to, the
+	// composite a QStructUpdate re-links Target under, or the object a
+	// QOCBRewire re-attaches Target's first reference to.
 	AttachTo model.ObjectID
-	// NewType is the type of the object a QInsert creates.
+	// NewType is the type of the object a QInsert or QOCBInsert creates.
 	NewType model.TypeID
-	// Scan is the target list of a QScan sweep.
-	Scan []model.ObjectID
+	// Targets is the operation's resolved target set: the object list of a
+	// QScan/QOCBScan sweep, the pre-resolved walk of a QOCBStochastic
+	// traversal, or the reference targets of a QOCBInsert.
+	Targets []model.ObjectID
+	// Size is the payload-size class of a write (SizeUnspecified keeps the
+	// schema-implied or current size).
+	Size SizeClass
 }
 
 // scanLength is the number of unrelated objects one QScan touches.
@@ -61,11 +71,13 @@ func (gen *Generator) Params() Params { return gen.p }
 // SetReadWriteRatio changes the read/write ratio mid-run — Section 3.3
 // observed that phases of one application (the MOSAICO phases span 0.52 to
 // 170) vary wildly, and the adaptive-clustering extension needs a workload
-// that actually does so.
-func (gen *Generator) SetReadWriteRatio(rw float64) {
+// that actually does so. It reports whether the change took effect.
+func (gen *Generator) SetReadWriteRatio(rw float64) bool {
 	if rw > 0 {
 		gen.p.ReadWriteRatio = rw
+		return true
 	}
+	return false
 }
 
 // SessionLength draws the number of transactions in a user session
@@ -193,7 +205,7 @@ func (gen *Generator) pickRoot() model.ObjectID {
 
 // Next draws the next transaction. The write probability is 1/(1+RW) so the
 // long-run read/write transaction ratio matches the parameter.
-func (gen *Generator) Next() Txn {
+func (gen *Generator) Next() Op {
 	if gen.rng.Float64() < 1/(1+gen.p.ReadWriteRatio) {
 		gen.writes++
 		return gen.nextWrite()
@@ -205,8 +217,8 @@ func (gen *Generator) Next() Txn {
 // Counts returns the generated read and write transaction counts.
 func (gen *Generator) Counts() (reads, writes int) { return gen.reads, gen.writes }
 
-func (gen *Generator) nextRead() Txn {
-	var t Txn
+func (gen *Generator) nextRead() Op {
+	var t Op
 	switch x := gen.rng.Float64(); {
 	case x < 0.04:
 		// Batch-tool sweep over uniformly random (mostly cold) objects.
@@ -217,33 +229,33 @@ func (gen *Generator) nextRead() Txn {
 			}
 		}
 		if len(scan) > 0 {
-			return Txn{Kind: QScan, Target: scan[0], Scan: scan}
+			return Op{Kind: QScan, Target: scan[0], Targets: scan}
 		}
 		fallthrough
 	case x < 0.14:
-		t = Txn{Kind: QCheckout, Target: gen.pickRoot()}
+		t = Op{Kind: QCheckout, Target: gen.pickRoot()}
 	case x < 0.48:
-		t = Txn{Kind: QComponentRetrieval, Target: gen.pickComposite()}
+		t = Op{Kind: QComponentRetrieval, Target: gen.pickComposite()}
 	case x < 0.60:
-		t = Txn{Kind: QSimpleLookup, Target: gen.pickComponent()}
+		t = Op{Kind: QSimpleLookup, Target: gen.pickComponent()}
 	case x < 0.72:
-		t = Txn{Kind: QCompositeRetrieval, Target: gen.pickComponent()}
+		t = Op{Kind: QCompositeRetrieval, Target: gen.pickComponent()}
 	case x < 0.84:
-		t = Txn{Kind: QCorresponding, Target: gen.pickRoot()}
+		t = Op{Kind: QCorresponding, Target: gen.pickRoot()}
 	case x < 0.92:
-		t = Txn{Kind: QDescendantVersion, Target: gen.pickRoot()}
+		t = Op{Kind: QDescendantVersion, Target: gen.pickRoot()}
 	default:
-		t = Txn{Kind: QAncestorVersion, Target: gen.pickRoot()}
+		t = Op{Kind: QAncestorVersion, Target: gen.pickRoot()}
 	}
 	if t.Target == model.NilObject {
-		t = Txn{Kind: QSimpleLookup, Target: gen.pickAlive(gen.db.Blocks)}
+		t = Op{Kind: QSimpleLookup, Target: gen.pickAlive(gen.db.Blocks)}
 	}
 	gen.touch(t.Target)
 	return t
 }
 
-func (gen *Generator) nextWrite() Txn {
-	var t Txn
+func (gen *Generator) nextWrite() Op {
+	var t Op
 	switch x := gen.rng.Float64(); {
 	case x < 0.45:
 		// Insert a new leaf (or block) under a composite being worked on.
@@ -252,19 +264,19 @@ func (gen *Generator) nextWrite() Txn {
 		if po := gen.db.Graph.Object(parent); po != nil && gen.isRootType(po.Type) {
 			nt = gen.db.Schema.BlockType
 		}
-		t = Txn{Kind: QInsert, AttachTo: parent, NewType: nt}
+		t = Op{Kind: QInsert, AttachTo: parent, NewType: nt}
 	case x < 0.63:
-		t = Txn{Kind: QUpdate, Target: gen.pickComponent()}
+		t = Op{Kind: QUpdate, Target: gen.pickComponent()}
 	case x < 0.82:
 		// Re-link a component under a different composite.
-		t = Txn{Kind: QStructUpdate, Target: gen.pickComponent(), AttachTo: gen.pickComposite()}
+		t = Op{Kind: QStructUpdate, Target: gen.pickComponent(), AttachTo: gen.pickComposite()}
 	case x < 0.92:
-		t = Txn{Kind: QDerive, Target: gen.pickRoot()}
+		t = Op{Kind: QDerive, Target: gen.pickRoot()}
 	default:
-		t = Txn{Kind: QDelete, Target: gen.pickAlive(gen.db.Leaves)}
+		t = Op{Kind: QDelete, Target: gen.pickAlive(gen.db.Leaves)}
 	}
 	if t.Kind != QInsert && t.Target == model.NilObject {
-		t = Txn{Kind: QInsert, AttachTo: gen.pickAlive(gen.db.Blocks),
+		t = Op{Kind: QInsert, AttachTo: gen.pickAlive(gen.db.Blocks),
 			NewType: gen.db.Schema.LeafTypes[0]}
 	}
 	if t.Target != model.NilObject {

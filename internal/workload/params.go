@@ -108,23 +108,42 @@ const (
 	// insertion/deletion/updating").
 	QDelete
 
-	// The four OCB operation kinds (internal/ocb). All are reads; the trace
-	// format validates kinds against NumQueryKinds, so appending here keeps
-	// recorded OCT traces readable while letting OCB streams record/replay
-	// through the same machinery.
+	// The OCB operation kinds (internal/ocb). The trace format validates
+	// kinds against NumQueryKinds, so appending here keeps recorded OCT
+	// traces readable while letting OCB streams record/replay through the
+	// same machinery.
 
 	// QOCBScan is an OCB set-oriented scan over one class extent; the
-	// sampled extent slice rides in Txn.Scan.
+	// sampled extent slice rides in Op.Targets.
 	QOCBScan
 	// QOCBSimple is an OCB simple traversal: a depth-bounded walk along
-	// configuration references from Txn.Target.
+	// configuration references from Op.Target.
 	QOCBSimple
-	// QOCBHierarchy is an OCB hierarchy traversal: from Txn.Target up the
+	// QOCBHierarchy is an OCB hierarchy traversal: from Op.Target up the
 	// inheritance (version-derivation) chain.
 	QOCBHierarchy
 	// QOCBStochastic is an OCB stochastic traversal: a pre-resolved random
-	// walk along configuration references, carried in Txn.Scan.
+	// walk along configuration references, carried in Op.Targets.
 	QOCBStochastic
+
+	// The OCB write kinds (full-OCB evolution operations). All randomness —
+	// class choice, reference targets, payload-size class — is resolved at
+	// generation time into the Op so a recorded stream replays
+	// byte-identically under any policy.
+
+	// QOCBInsert creates a new object under the class of Op.NewType, wired
+	// to the pre-drawn reference targets in Op.Targets; Op.Size classes the
+	// payload.
+	QOCBInsert
+	// QOCBDelete removes the configuration subtree rooted at Op.Target
+	// (bottom-up, skipping shared components).
+	QOCBDelete
+	// QOCBUpdate rewrites the attribute payload of Op.Target; Op.Size is the
+	// new payload-size class (a resize re-places the object).
+	QOCBUpdate
+	// QOCBRewire detaches Op.Target's first configuration reference and
+	// re-attaches it under Op.AttachTo, churning the configuration graph.
+	QOCBRewire
 
 	// NumQueryKinds is the number of query kinds.
 	NumQueryKinds
@@ -135,6 +154,7 @@ var queryKindNames = [NumQueryKinds]string{
 	"descendant-version", "ancestor-version", "corresponding",
 	"insert", "update", "struct-update", "derive", "scan", "checkout", "delete",
 	"ocb-scan", "ocb-simple", "ocb-hierarchy", "ocb-stochastic",
+	"ocb-insert", "ocb-delete", "ocb-update", "ocb-rewire",
 }
 
 // String names the query kind.
@@ -149,10 +169,43 @@ func (k QueryKind) String() string {
 // the read/write ratio.
 func (k QueryKind) IsWrite() bool {
 	switch k {
-	case QInsert, QUpdate, QStructUpdate, QDerive, QDelete:
+	case QInsert, QUpdate, QStructUpdate, QDerive, QDelete,
+		QOCBInsert, QOCBDelete, QOCBUpdate, QOCBRewire:
 		return true
 	}
 	return false
+}
+
+// SizeClass is the payload-size class an operation carries: sources resolve
+// the size draw at generation time and the engine maps the class to bytes
+// deterministically, so the size never needs a second RNG draw at execution.
+// SizeUnspecified (the zero value) means "keep the object's current size" —
+// the OCT write kinds, whose sizes are implied by the schema, leave it zero
+// so their streams stay byte-identical to pre-refactor recordings.
+type SizeClass uint8
+
+const (
+	// SizeUnspecified keeps the current/default payload size.
+	SizeUnspecified SizeClass = iota
+	// SizeSmall is a payload around half the workload's base object size.
+	SizeSmall
+	// SizeMedium is a payload around the base object size.
+	SizeMedium
+	// SizeLarge is a payload around 1.5x the base object size.
+	SizeLarge
+
+	// NumSizeClasses is the number of size classes.
+	NumSizeClasses
+)
+
+var sizeClassNames = [NumSizeClasses]string{"unspecified", "small", "medium", "large"}
+
+// String names the size class.
+func (s SizeClass) String() string {
+	if int(s) < len(sizeClassNames) {
+		return sizeClassNames[s]
+	}
+	return fmt.Sprintf("SizeClass(%d)", uint8(s))
 }
 
 // Params controls the transaction generator.

@@ -10,20 +10,23 @@ import "oodb/internal/model"
 // Implementations must draw all randomness from the *rand.Rand they were
 // constructed with — the engine hands them a named kernel stream so
 // checkpoint restore rewinds them — and must resolve any randomized
-// target lists at generation time (into Txn.Scan) so a recorded stream
+// target lists at generation time (into Op.Targets) so a recorded stream
 // replays byte-identically.
 type Source interface {
-	// Next draws the next transaction.
-	Next() Txn
+	// Next draws the next operation.
+	Next() Op
 	// SessionLength draws the number of transactions in a user session.
 	SessionLength() int
 	// NoteCreated tells the source an object was created during execution,
 	// so later transactions can target it. Read-only sources ignore it.
 	NoteCreated(id model.ObjectID, t model.TypeID)
 	// SetReadWriteRatio adjusts the read/write mix mid-run (phased
-	// workloads). Read-only sources ignore it.
-	SetReadWriteRatio(rw float64)
-	// Counts reports how many read and write transactions were generated.
+	// workloads) and reports whether the change took effect. A source that
+	// cannot honor the requested mix must return false — a silent no-op is
+	// not an acceptable implementation — so callers can surface the
+	// "unsupported" signal instead of believing the phase change happened.
+	SetReadWriteRatio(rw float64) bool
+	// Counts reports how many read and write operations were generated.
 	Counts() (reads, writes int)
 }
 

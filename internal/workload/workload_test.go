@@ -210,7 +210,7 @@ func TestGeneratorTxnsWellFormed(t *testing.T) {
 			}
 			switch tx.Kind {
 			case QScan:
-				if len(tx.Scan) == 0 {
+				if len(tx.Targets) == 0 {
 					return false
 				}
 			case QInsert:

@@ -3,8 +3,9 @@
 # split machinery, buffer pool and replacement policies, storage lookup) and
 # the macro benchmarks (simulation throughput per scale tier, and concurrent
 # multi-session throughput/latency per client count) with -benchmem, and
-# writes the parsed results — ns/op, B/op, allocs/op, events/sec, and the
-# p50/p99/p999 latency percentiles where reported — to BENCH_8.json (or the
+# writes the parsed results — ns/op, B/op, allocs/op, events/sec,
+# commits/sec and p99w_us from the write-mix runs, and the p50/p99/p999
+# latency percentiles where reported — to BENCH_9.json (or the
 # path given as $1). Compare two reports with:
 #   go run ./scripts/benchcmp OLD.json NEW.json
 # or gate on >10% ns/op regressions with:
@@ -25,7 +26,7 @@ if [ "${1:-}" = "-f" ]; then
     force=1
     shift
 fi
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
 if [ -e "$out" ] && [ "$force" -eq 0 ]; then
     echo "bench.sh: $out already exists; pass -f to overwrite" >&2
     exit 1
@@ -49,10 +50,12 @@ fi
 
 # Macro throughput: simulated transactions and kernel events per wall-clock
 # second, per scale tier (the large tier joins when OODB_BENCH_LARGE is set),
-# plus concurrent multi-session throughput and latency per client count, and
-# the real-I/O file-backend runs across fsync policies.
+# plus concurrent multi-session throughput and latency per client count, the
+# real-I/O file-backend runs across fsync policies, and the write-mix runs
+# (write-enabled OCB over the file backend: commits/sec and p99 write
+# latency per fsync policy).
 if [ "$suite" != "micro" ]; then
-    { go test -run '^$' -bench 'SimThroughput|ConcurrentSessions|FileBackend' -benchtime "${BENCHTIME:-1s}" \
+    { go test -run '^$' -bench 'SimThroughput|ConcurrentSessions|FileBackend|WriteMix' -benchtime "${BENCHTIME:-1s}" \
         ./internal/engine/; echo "$?" > "$rc"; } | tee -a "$tmp"
     status="$(cat "$rc")"
     if [ "$status" -ne 0 ]; then
@@ -66,24 +69,28 @@ BEGIN { print "["; first = 1 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = ""; bop = "0"; aop = "0"; eps = "0"; p50 = ""; p99 = ""; p999 = ""
+    ns = ""; bop = "0"; aop = "0"; eps = "0"; cps = ""; p50 = ""; p99 = ""; p999 = ""; p99w = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i - 1)
         if ($i == "B/op") bop = $(i - 1)
         if ($i == "allocs/op") aop = $(i - 1)
         if ($i == "events/sec") eps = $(i - 1)
+        if ($i == "commits/sec") cps = $(i - 1)
         if ($i == "p50_us") p50 = $(i - 1)
         if ($i == "p99_us") p99 = $(i - 1)
         if ($i == "p999_us") p999 = $(i - 1)
+        if ($i == "p99w_us") p99w = $(i - 1)
     }
     if (ns == "") next
     if (!first) printf(",\n")
     first = 0
     printf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"events_per_sec\": %s", \
            name, ns, bop, aop, eps)
+    if (cps != "") printf(", \"commits_per_sec\": %s", cps)
     if (p50 != "") printf(", \"p50_us\": %s", p50)
     if (p99 != "") printf(", \"p99_us\": %s", p99)
     if (p999 != "") printf(", \"p999_us\": %s", p999)
+    if (p99w != "") printf(", \"p99w_us\": %s", p99w)
     printf("}")
 }
 END { print "\n]" }

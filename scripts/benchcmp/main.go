@@ -32,9 +32,11 @@ type row struct {
 	BPerOp      float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	EventsPerS  float64 `json:"events_per_sec"`
+	CommitsPerS float64 `json:"commits_per_sec,omitempty"`
 	P50Us       float64 `json:"p50_us,omitempty"`
 	P99Us       float64 `json:"p99_us,omitempty"`
 	P999Us      float64 `json:"p999_us,omitempty"`
+	P99WUs      float64 `json:"p99w_us,omitempty"`
 }
 
 func load(path string) (map[string]row, error) {
@@ -115,6 +117,15 @@ func main() {
 		}
 		if o.P99Us > 0 && n.P99Us > 0 && (n.P99Us-o.P99Us)/o.P99Us > gateThreshold {
 			regressions = append(regressions, fmt.Sprintf("%s: p99_us %s", name, delta(o.P99Us, n.P99Us)))
+		}
+		// Write-mix gates: commits/sec down is lost durable-write throughput;
+		// p99w_us up is a slower write tail (and p99w is simulated, so any
+		// move at all is a real model change, not noise).
+		if o.CommitsPerS > 0 && n.CommitsPerS > 0 && (o.CommitsPerS-n.CommitsPerS)/o.CommitsPerS > gateThreshold {
+			regressions = append(regressions, fmt.Sprintf("%s: commits/sec %s", name, delta(o.CommitsPerS, n.CommitsPerS)))
+		}
+		if o.P99WUs > 0 && n.P99WUs > 0 && (n.P99WUs-o.P99WUs)/o.P99WUs > gateThreshold {
+			regressions = append(regressions, fmt.Sprintf("%s: p99w_us %s", name, delta(o.P99WUs, n.P99WUs)))
 		}
 	}
 	for name := range oldRows {

@@ -110,5 +110,10 @@ crash_check() {
 
 crash_check oct
 crash_check ocb -workload ocb
+# Write-heavy OCB: roughly one write per read, all four evolution kinds.
+# This is the gate the write pipeline answers to — inserts, deletes,
+# updates, and rewires journaled through the same WAL must replay to the
+# reference digest after a SIGKILL.
+crash_check ocbw -workload ocb -ocb-rw 1
 
 echo "crash_roundtrip: all checks passed"
