@@ -68,7 +68,7 @@ func main() {
 		cluster  = flag.String("cluster", "No_limit", "single run: No_Cluster | Within_Buffer | 2_IO_limit | 10_IO_limit | No_limit")
 		repl     = flag.String("repl", "LRU", "single run: paper name (LRU | Context | Random) or any registered policy (e.g. clock)")
 		prefetch = flag.String("prefetch", "none", "single run: none | buffer | db")
-		strategy = flag.String("strategy", "", "single run: clustering strategy by registry name (affinity | noop; default affinity)")
+		strategy = flag.String("strategy", "", "single run: clustering strategy by registry name (affinity | dstc | dro | noop; default affinity)")
 		observe  = flag.Bool("observe", false, "single run: record per-layer instrumentation counters and print them after the run")
 
 		ckptFile = flag.String("checkpoint", "", "single run: write a checkpoint of the run to this file (see -checkpoint-at)")

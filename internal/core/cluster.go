@@ -25,6 +25,11 @@ type ClusterStats struct {
 	GreedyCutTotal  float64
 	OptimalCutTotal float64
 	SplitsCompared  int
+
+	// Dynamic-clustering activity (the dstc/dro strategies).
+	Consolidations int // DSTC observation windows folded into temperatures
+	DynMoves       int // objects relocated by triggered reorganization/sweeps
+	Evacuations    int // DRO flagrantly-bad pages evacuated
 }
 
 // Placement describes the outcome of a placement or reclustering action so

@@ -23,6 +23,15 @@ type ClusterState struct {
 	Spill    storage.PageID
 	Policy   ClusterPolicy
 	Stats    ClusterStats
+
+	// Dynamic-clustering state (additive; zero-valued for strategies that
+	// keep none). Gob matches fields by name, so older checkpoints decode
+	// with these left zero.
+	Heat     []uint32         // DSTC per-object observation-window counters
+	Temps    []uint32         // DSTC consolidated temperatures
+	WinOps   uint32           // DSTC accesses in the still-open window
+	Removals int              // DRO removals since the last sweep
+	BadPages []storage.PageID // DRO suspect pages awaiting a sweep
 }
 
 // StatefulClusterStrategy is a ClusterStrategy that supports

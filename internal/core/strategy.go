@@ -42,6 +42,25 @@ type PolicyTuner interface {
 	CurrentPolicy() ClusterPolicy
 }
 
+// AccessObserver is the optional interface a ClusterStrategy implements to
+// receive the engine's access-pattern feed — the hook dynamic clustering
+// policies (DSTC, DRO) build their statistics on. The engine discovers it
+// by capability, like PolicyTuner; strategies that place statically simply
+// do not implement it.
+//
+// NoteAccess is called on the read path, potentially from concurrent
+// sessions holding only the shared guard: implementations must be race-free
+// (atomic counters) and must not touch the buffer pool or storage — reads
+// stay physically invisible. NoteRemoved is called on the write path under
+// the exclusive guard, before the object leaves the store (so PageOf still
+// resolves).
+type AccessObserver interface {
+	// NoteAccess records one logical read of id.
+	NoteAccess(id model.ObjectID)
+	// NoteRemoved reports that id is about to be removed from the store.
+	NoteRemoved(id model.ObjectID)
+}
+
 // PrefetchStrategy is the prefetch seam: after each root object access the
 // engine hands the touched object to the strategy, which may boost resident
 // pages or return background read I/Os. The Prefetcher in this package is

@@ -46,6 +46,12 @@ type stack struct {
 	gen   workload.Source
 	rec   obs.Recorder // nil = uninstrumented
 
+	// obsv is the cluster strategy's access-pattern feed, discovered by
+	// capability at construction (nil for strategies that place statically,
+	// so the hot path pays one nil check). NoteAccess fires per found
+	// logical read; NoteRemoved fires before each storage removal.
+	obsv core.AccessObserver
+
 	// boostContext enables the per-read context boosts (set when the
 	// replacement policy is the context-sensitive one); boostLimit is the
 	// configured bound (0 = core default, negative = disabled).

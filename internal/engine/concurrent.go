@@ -284,6 +284,9 @@ func NewConcurrent(cfg Config, opt ConcurrentOptions) (*Concurrent, error) {
 	}
 
 	_, boostContext := policies[0].(*core.ContextPolicy)
+	// One shared strategy instance across sessions: its access feed must be
+	// race-free under the shared guard, which AccessObserver contracts.
+	obsv, _ := clust.(core.AccessObserver)
 	ocbDepth := 0
 	var sizeTable [workload.NumSizeClasses]int
 	if base != nil {
@@ -319,6 +322,7 @@ func NewConcurrent(cfg Config, opt ConcurrentOptions) (*Concurrent, error) {
 			stack: &stack{
 				graph: graph, store: bk, pool: pool,
 				clust: clust, pf: pf, log: log, gen: gen,
+				obsv:         obsv,
 				boostContext: boostContext,
 				boostLimit:   cfg.ContextBoostLimit,
 				ocbDepth:     ocbDepth,

@@ -202,10 +202,14 @@ func New(cfg Config) (*Engine, error) {
 	// structural boosts; other policies ignore them, so the access layer
 	// skips computing the boost set entirely.
 	_, boostContext := policy.(*core.ContextPolicy)
+	// Dynamic clustering strategies consume the access-pattern feed; the
+	// capability is discovered once, like PolicyTuner and storage.Durable.
+	obsv, _ := clust.(core.AccessObserver)
 	e.access = &stack{
 		graph: graph, store: bk, pool: pool,
 		clust: clust, pf: pf, log: log, gen: e.gen,
 		rec:          cfg.Recorder,
+		obsv:         obsv,
 		boostContext: boostContext,
 		boostLimit:   cfg.ContextBoostLimit,
 		digest:       digestOffset,

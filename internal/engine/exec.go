@@ -101,6 +101,9 @@ func (a *stack) readObject(dst []core.PhysIO, id model.ObjectID, prefetch, boost
 	}
 	a.foldRead(id, true)
 	a.noteOCBAccess(res.Hit)
+	if a.obsv != nil {
+		a.obsv.NoteAccess(id)
+	}
 	dst = core.AppendExpandAccess(dst, res, pg)
 
 	// The context-sensitive replacement policy uses structural knowledge on
@@ -395,6 +398,9 @@ func (a *stack) execDelete(txn int, req workload.Op) ([]core.PhysIO, int, error)
 	ios, err = a.logAppend(ios, txn, o.Size, pg)
 	if err != nil {
 		return nil, 0, err
+	}
+	if a.obsv != nil {
+		a.obsv.NoteRemoved(req.Target)
 	}
 	if err := a.store.Remove(req.Target); err != nil {
 		return nil, 0, err

@@ -319,6 +319,9 @@ func (a *stack) execOCBDelete(txn int, req workload.Op) ([]core.PhysIO, int, err
 		if ios, err = a.logAppend(ios, txn, o.Size, pg); err != nil {
 			return nil, 0, err
 		}
+		if a.obsv != nil {
+			a.obsv.NoteRemoved(id)
+		}
 		if err := a.store.Remove(id); err != nil {
 			return nil, 0, err
 		}
@@ -364,6 +367,9 @@ func (a *stack) execOCBUpdate(txn int, req workload.Op) ([]core.PhysIO, int, err
 		return nil, 0, err
 	}
 	if newSize != o.Size {
+		if a.obsv != nil {
+			a.obsv.NoteRemoved(req.Target)
+		}
 		if err := a.store.Remove(req.Target); err != nil {
 			return nil, 0, err
 		}

@@ -177,7 +177,11 @@ func goldenCases(short bool) []struct {
 		cases = append(cases, struct {
 			id  string
 			opt Options
-		}{"fig6.1", Options{Scale: 0.004, Transactions: 120, Seed: 1, Workers: 1}})
+		}{"fig6.1", Options{Scale: 0.004, Transactions: 120, Seed: 1, Workers: 1}},
+			struct {
+				id  string
+				opt Options
+			}{"tournament", Options{Scale: 0.004, Transactions: 120, Seed: 1, Workers: 1}})
 	}
 	return cases
 }

@@ -1,0 +1,76 @@
+package oracle
+
+import (
+	"testing"
+
+	"oodb/internal/core"
+)
+
+// tournamentRoster is the minimum contender set the cross-strategy sweeps
+// must cover. If any of these disappears from the registry — a deleted
+// init(), a renamed registration — the sweep tests would silently shrink,
+// so this test fails loudly instead.
+var tournamentRoster = []string{"affinity", "dstc", "dro", "noop"}
+
+// TestRegistrySweepNeverSkips pins the differential sweeps to the live
+// registry: every named contender must be registered, the registry must not
+// shrink below its known size, and every registered strategy — not just the
+// roster — must replay both recorded streams (read-only and write-enabled
+// OCB) with logical equivalence, conserved physical accounting, and a
+// final-state digest identical to the baseline's.
+func TestRegistrySweepNeverSkips(t *testing.T) {
+	names := core.ClusterStrategyNames()
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range tournamentRoster {
+		if !core.HasClusterStrategy(want) || !have[want] {
+			t.Fatalf("strategy %q missing from registry sweep %v", want, names)
+		}
+	}
+	// affinity, default, dro, dstc, noop, none as of PR 10. A shrinking
+	// registry means a strategy was de-registered and every sweep that
+	// ranges over ClusterStrategyNames() quietly lost coverage.
+	if len(names) < 6 {
+		t.Fatalf("registry shrank to %d strategies (%v); sweeps lost coverage", len(names), names)
+	}
+
+	readBase, writeBase := tinyOCBConfig(), tinyWriteConfig()
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rv := readBase
+			rv.ClusterStrategy = name
+			if err := stream(t).Compare(readBase, rv); err != nil {
+				t.Errorf("read stream: %v", err)
+			}
+			res, err := stream(t).Replay(rv)
+			if err != nil {
+				t.Fatalf("read replay: %v", err)
+			}
+			if err := CheckConservation(res); err != nil {
+				t.Errorf("read conservation: %v", err)
+			}
+			if err := CheckFinalState(stream(t).Base, res); err != nil {
+				t.Errorf("read final state: %v", err)
+			}
+
+			wv := writeBase
+			wv.ClusterStrategy = name
+			if err := writeStream(t).Compare(writeBase, wv); err != nil {
+				t.Errorf("write stream: %v", err)
+			}
+			wres, err := writeStream(t).Replay(wv)
+			if err != nil {
+				t.Fatalf("write replay: %v", err)
+			}
+			if err := CheckConservation(wres); err != nil {
+				t.Errorf("write conservation: %v", err)
+			}
+			if err := CheckFinalState(writeStream(t).Base, wres); err != nil {
+				t.Errorf("write final state: %v", err)
+			}
+		})
+	}
+}

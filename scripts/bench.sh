@@ -5,7 +5,7 @@
 # multi-session throughput/latency per client count) with -benchmem, and
 # writes the parsed results — ns/op, B/op, allocs/op, events/sec,
 # commits/sec and p99w_us from the write-mix runs, and the p50/p99/p999
-# latency percentiles where reported — to BENCH_9.json (or the
+# latency percentiles where reported — to BENCH_10.json (or the
 # path given as $1). Compare two reports with:
 #   go run ./scripts/benchcmp OLD.json NEW.json
 # or gate on >10% ns/op regressions with:
@@ -26,7 +26,7 @@ if [ "${1:-}" = "-f" ]; then
     force=1
     shift
 fi
-out="${1:-BENCH_9.json}"
+out="${1:-BENCH_10.json}"
 if [ -e "$out" ] && [ "$force" -eq 0 ]; then
     echo "bench.sh: $out already exists; pass -f to overwrite" >&2
     exit 1
@@ -51,11 +51,12 @@ fi
 # Macro throughput: simulated transactions and kernel events per wall-clock
 # second, per scale tier (the large tier joins when OODB_BENCH_LARGE is set),
 # plus concurrent multi-session throughput and latency per client count, the
-# real-I/O file-backend runs across fsync policies, and the write-mix runs
+# real-I/O file-backend runs across fsync policies, the write-mix runs
 # (write-enabled OCB over the file backend: commits/sec and p99 write
-# latency per fsync policy).
+# latency per fsync policy), and the clustering-tournament runs (write-heavy
+# OCB per registered strategy: affinity/dstc/dro/noop).
 if [ "$suite" != "micro" ]; then
-    { go test -run '^$' -bench 'SimThroughput|ConcurrentSessions|FileBackend|WriteMix' -benchtime "${BENCHTIME:-1s}" \
+    { go test -run '^$' -bench 'SimThroughput|ConcurrentSessions|FileBackend|WriteMix|ClusterTournament' -benchtime "${BENCHTIME:-1s}" \
         ./internal/engine/; echo "$?" > "$rc"; } | tee -a "$tmp"
     status="$(cat "$rc")"
     if [ "$status" -ne 0 ]; then

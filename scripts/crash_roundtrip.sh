@@ -115,5 +115,10 @@ crash_check ocb -workload ocb
 # updates, and rewires journaled through the same WAL must replay to the
 # reference digest after a SIGKILL.
 crash_check ocbw -workload ocb -ocb-rw 1
+# Dynamic clustering strategies: dstc and dro relocate live objects mid-run,
+# and those moves journal through the same WAL as any placement — a SIGKILL
+# mid-reorganization must still recover to the reference digest.
+crash_check dstc -workload ocb -ocb-rw 1 -strategy dstc
+crash_check dro -workload ocb -ocb-rw 1 -strategy dro
 
 echo "crash_roundtrip: all checks passed"
